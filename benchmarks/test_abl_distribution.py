@@ -1,0 +1,42 @@
+"""Ablation: uniform vs clustered ABB distribution.
+
+Section 4 states the evaluated system uses "uniform distribution of ABBs
+among the islands".  This ablation quantifies why: clustering each ABB
+type onto its own islands forces every chain hop across the NoC, while
+uniform islands keep producer/consumer types co-located.
+"""
+
+import dataclasses
+
+from conftest import BENCH_TILES, run_once
+
+from repro.sim import SystemConfig, run_workload
+from repro.workloads import get_workload
+
+BENCHES = ["Denoise", "Segmentation", "EKF-SLAM"]
+
+
+def generate():
+    out = {}
+    for name in BENCHES:
+        workload = get_workload(name, tiles=BENCH_TILES)
+        uniform = run_workload(SystemConfig(n_islands=24), workload)
+        clustered = run_workload(
+            dataclasses.replace(SystemConfig(n_islands=24), distribution="clustered"),
+            workload,
+        )
+        out[name] = uniform.performance / clustered.performance
+    return out
+
+
+def test_abl_distribution(benchmark):
+    ratios = run_once(benchmark, generate)
+    print("\n=== Ablation: uniform vs clustered ABB distribution (24 islands) ===")
+    for name, ratio in ratios.items():
+        print(f"    {name:<14} uniform/clustered performance: {ratio:.2f}X")
+    # Uniform wins for chained workloads (the paper's design choice).
+    assert ratios["Segmentation"] > 1.05
+    assert ratios["EKF-SLAM"] > 1.05
+    # Chaining-heavy benchmarks suffer more from clustering than the
+    # low-chaining one.
+    assert max(ratios["Segmentation"], ratios["EKF-SLAM"]) > ratios["Denoise"]

@@ -1,0 +1,59 @@
+"""Ablation: ARC's lightweight interrupt scheme.
+
+The paper (Section 2) motivates a lightweight interrupt system "to
+reduce the overhead incurred by the OS for handling interrupts, which
+can occur frequently in an accelerator-rich platform".  This ablation
+runs ARC with lightweight vs OS-path completion interrupts and measures
+the throughput cost of the OS path.
+"""
+
+import pytest
+from conftest import BENCH_TILES, run_once
+
+from repro.arch.arc import ARCSystem
+from repro.core.gam import LIGHTWEIGHT_INTERRUPT_CYCLES, OS_INTERRUPT_CYCLES
+from repro.workloads import get_workload
+
+
+def generate():
+    results = {}
+    for name in ("Denoise", "EKF-SLAM"):
+        for lightweight in (True, False):
+            workload = get_workload(name, tiles=BENCH_TILES)
+            system = ARCSystem(workload, lightweight_interrupts=lightweight)
+            results[(name, lightweight)] = (system.run(), system.gam)
+    return results
+
+
+def test_abl_interrupts(benchmark):
+    results = run_once(benchmark, generate)
+    print("\n=== Ablation: lightweight vs OS interrupts (ARC) ===")
+    print(
+        f"    handler cost: lightweight={LIGHTWEIGHT_INTERRUPT_CYCLES:.0f} cy, "
+        f"OS={OS_INTERRUPT_CYCLES:.0f} cy"
+    )
+    for name in ("Denoise", "EKF-SLAM"):
+        light, light_gam = results[(name, True)]
+        os_path, os_gam = results[(name, False)]
+        slowdown = light.performance / os_path.performance
+        print(
+            f"    {name:<10} perf with OS interrupts: "
+            f"{os_path.performance / light.performance:.3f}X of lightweight "
+            f"(overhead {os_gam.interrupts.total_overhead_cycles:,.0f} cy over "
+            f"{os_gam.interrupts.count} interrupts)"
+        )
+        # The OS path is strictly slower...
+        assert os_path.total_cycles > light.total_cycles
+        # ...by roughly the extra handler cycles (one interrupt per tile
+        # completion on the critical dispatch path at full occupancy).
+        assert slowdown > 1.0
+        # Interrupt counts match tile counts.
+        assert light_gam.interrupts.count == BENCH_TILES
+        assert os_gam.interrupts.count == BENCH_TILES
+        # Accounting matches the per-event costs.
+        assert light_gam.interrupts.total_overhead_cycles == pytest.approx(
+            BENCH_TILES * LIGHTWEIGHT_INTERRUPT_CYCLES
+        )
+        assert os_gam.interrupts.total_overhead_cycles == pytest.approx(
+            BENCH_TILES * OS_INTERRUPT_CYCLES
+        )

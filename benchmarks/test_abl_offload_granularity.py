@@ -1,0 +1,48 @@
+"""Ablation: offload granularity (tile size vs speedup).
+
+A classic accelerator question the paper's fixed-size evaluation leaves
+implicit: per-tile overheads — the 180-cycle memory latency, pipeline
+fills, ABB allocation — amortize over the tile's work, so accelerator
+speedup over the CMP grows with tile size and collapses for tiny tiles.
+"""
+
+from conftest import BENCH_TILES, run_once
+
+from repro.arch.presets import best_paper_config
+from repro.cmp import compare_to_cmp, xeon_e5_2420
+from repro.sim import run_workload
+from repro.workloads import get_workload
+from repro.workloads.base import scale_workload
+
+SCALES = [0.125, 0.5, 1.0, 4.0]
+
+
+def generate():
+    config = best_paper_config()
+    cmp12 = xeon_e5_2420()
+    out = {}
+    for scale in SCALES:
+        workload = scale_workload(
+            get_workload("Registration", tiles=BENCH_TILES), scale
+        )
+        result = run_workload(config, workload)
+        out[scale] = compare_to_cmp(result, workload, cmp12).speedup
+    return out
+
+
+def test_abl_offload_granularity(benchmark):
+    speedups = run_once(benchmark, generate)
+    print("\n=== Ablation: offload granularity (Registration) ===")
+    for scale, speedup in speedups.items():
+        print(f"    work x{scale:<6g} speedup vs 12-core CMP: {speedup:5.2f}X")
+    # Speedup grows monotonically with tile size.
+    values = [speedups[s] for s in SCALES]
+    assert all(b > a for a, b in zip(values, values[1:]))
+    # Small tiles lose a measurable share of the benefit to fixed
+    # overheads (latency, fills, allocation).
+    assert speedups[0.125] < 0.85 * speedups[1.0]
+    # Diminishing returns at large tiles: the last 4X of work buys far
+    # less than the first.
+    gain_low = speedups[0.5] / speedups[0.125]
+    gain_high = speedups[4.0] / speedups[1.0]
+    assert gain_high < gain_low

@@ -1,0 +1,29 @@
+"""Figure 1: hardware parameters of the modeled general-purpose core.
+
+A configuration table, not an experiment — the bench verifies the model
+exposes exactly the published parameters.
+"""
+
+from conftest import run_once
+
+from repro.cmp import CoreModel
+from repro.power.mcpat import PIPELINE_PARAMETERS
+
+
+def test_fig01_pipeline_parameters(benchmark):
+    params = run_once(benchmark, dict, PIPELINE_PARAMETERS)
+    print("\n=== Figure 1: general-purpose processor parameters ===")
+    for key, value in params.items():
+        print(f"    {key:<32} {value}")
+    assert params["fetch_issue_retire_width"] == "4"
+    assert params["num_integer_alus"] == "3"
+    assert params["num_fp_alus"] == "2"
+    assert params["rob_entries"] == "96"
+    assert params["reservation_station_entries"] == "64"
+    assert params["l1_icache"].startswith("32 KB")
+    assert params["l1_dcache"].startswith("32 KB")
+    assert params["l2_cache"].startswith("6 MB")
+    # The modeled core matches the table.
+    core = CoreModel("fig1", freq_ghz=2.0, active_power_w=20.0)
+    assert core.issue_width == 4
+    assert core.rob_entries == 96

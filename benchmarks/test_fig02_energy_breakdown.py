@@ -1,0 +1,49 @@
+"""Figure 2: energy breakdown of the original out-of-order pipeline.
+
+Paper: compute units 25.7 %, memory 10.1 %, everything else (64.2 %) is
+the flexible instruction-oriented model's overhead.
+"""
+
+import pytest
+from conftest import print_series, run_once
+
+from repro.power import PipelineEnergyModel
+
+
+def generate():
+    model = PipelineEnergyModel()
+    return {
+        "shares": dict(model.shares),
+        "compute_fraction": model.compute_fraction(),
+        "memory_fraction": model.memory_fraction(),
+        "overhead_fraction": model.overhead_fraction(),
+    }
+
+
+def test_fig02_energy_breakdown(benchmark):
+    data = run_once(benchmark, generate)
+    print_series(
+        "Figure 2: pipeline energy breakdown (%)",
+        data["shares"],
+        paper_note="compute 26%, memory 10%, instruction-model overhead 64%",
+    )
+    print(
+        f"    fractions: compute={data['compute_fraction']:.3f} "
+        f"memory={data['memory_fraction']:.3f} "
+        f"overhead={data['overhead_fraction']:.3f}"
+    )
+    # Published per-component shares.
+    assert data["shares"]["fetch"] == 8.9
+    assert data["shares"]["decode"] == 6.0
+    assert data["shares"]["rename"] == 12.1
+    assert data["shares"]["reg_files"] == 2.7
+    assert data["shares"]["scheduler"] == 10.8
+    assert data["shares"]["miscellaneous"] == 23.7
+    assert data["shares"]["fpu"] == 7.9
+    assert data["shares"]["int_alu"] == 13.8
+    assert data["shares"]["mul_div"] == 4.0
+    assert data["shares"]["memory"] == 10.1
+    # Headline fractions quoted in Section 1.
+    assert data["compute_fraction"] == pytest.approx(0.26, abs=0.005)
+    assert data["memory_fraction"] == pytest.approx(0.10, abs=0.005)
+    assert data["overhead_fraction"] == pytest.approx(0.64, abs=0.005)

@@ -1,0 +1,41 @@
+"""Section 1: per-operation energy and the AES efficiency-gap study.
+
+Paper: dedicated 45 nm logic saves 61X (32-bit add), 17X (32-bit mul)
+and 19X (single-precision FP) over the 2 GHz processor's compute units;
+the AES case study spans a ~3-million-X efficiency gap.
+"""
+
+import pytest
+from conftest import run_once
+
+from repro.power import AES_IMPLEMENTATIONS, OP_ENERGY_TABLE, aes_efficiency_gap
+
+
+def generate():
+    return {
+        "savings": {name: op.savings_factor for name, op in OP_ENERGY_TABLE.items()},
+        "aes_gap": aes_efficiency_gap(),
+        "efficiencies": {
+            name: impl.efficiency_bps_per_w
+            for name, impl in AES_IMPLEMENTATIONS.items()
+        },
+    }
+
+
+def test_sec1_op_energy(benchmark):
+    data = run_once(benchmark, generate)
+    print("\n=== Section 1: processor vs ASIC per-op energy ===")
+    for name, op in OP_ENERGY_TABLE.items():
+        print(
+            f"    {name:<8} processor={op.processor_nj:.3f} nJ  "
+            f"asic={op.asic_nj:.3f} nJ  savings={op.savings_factor:5.1f}X"
+        )
+    print(f"    AES efficiency gap: {data['aes_gap']:,.0f}X (paper: ~3,000,000X)")
+    assert data["savings"]["add32"] == pytest.approx(61.0, rel=0.02)
+    assert data["savings"]["mul32"] == pytest.approx(17.0, rel=0.02)
+    assert data["savings"]["fp_sp"] == pytest.approx(19.0, rel=0.02)
+    assert 2.5e6 < data["aes_gap"] < 3.5e6
+    # Ordering: ASIC most efficient, Java/SPARC least.
+    eff = data["efficiencies"]
+    assert eff["asic_180nm"] > eff["pentium3"] > eff["sparc_java"]
+    assert eff["strongarm"] > eff["pentium3"]

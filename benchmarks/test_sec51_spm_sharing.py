@@ -1,0 +1,81 @@
+"""Section 5.1: SPM sharing is a poor design choice.
+
+Paper: sharing with immediate neighbours grows the ABB<->SPM crossbar 3X
+while reducing SPM banks at best 0.66X; the SPM allocated to an ABB is
+only ~20 % of its crossbar's area (7 % with sharing), so the trade loses
+area.  Sharing also locks out neighbours, reducing effective parallelism,
+and performance drops.
+"""
+
+import pytest
+from conftest import BENCH_TILES, run_once
+
+from repro.abb import standard_library
+from repro.power.orion import crossbar_area_mm2
+from repro.power.spm_model import SPMModel
+from repro.sim import SystemConfig, SystemModel, run_workload
+from repro.workloads import get_workload
+
+#: Paper: sharing could reduce SPM banks to 0.66X of the private count.
+SHARING_SPM_REDUCTION = 0.66
+
+
+def generate():
+    lib = standard_library()
+    poly = lib.get("poly")
+    private_xbar = crossbar_area_mm2(1, poly.spm_banks_min, 16)
+    shared_xbar = crossbar_area_mm2(1, 3 * poly.spm_banks_min, 16)
+    spm_area = poly.spm_banks_min * SPMModel(poly.spm_bank_bytes).area_mm2
+
+    # Whole-island area with and without sharing.
+    private_sys = SystemModel(SystemConfig(n_islands=3, spm_sharing=False))
+    shared_sys = SystemModel(SystemConfig(n_islands=3, spm_sharing=True))
+
+    # Performance with and without sharing (lockout effect).
+    workload = get_workload("Segmentation", tiles=BENCH_TILES)
+    perf_private = run_workload(
+        SystemConfig(n_islands=3, spm_sharing=False), workload
+    ).performance
+    perf_shared = run_workload(
+        SystemConfig(n_islands=3, spm_sharing=True), workload
+    ).performance
+
+    return {
+        "xbar_growth": shared_xbar / private_xbar,
+        "spm_to_xbar_private": spm_area / private_xbar,
+        "spm_to_xbar_shared": spm_area / shared_xbar,
+        "island_xbar_private": private_sys.area_breakdown_mm2()["abb_spm_crossbar"],
+        "island_xbar_shared": shared_sys.area_breakdown_mm2()["abb_spm_crossbar"],
+        "spm_saving_possible": SHARING_SPM_REDUCTION,
+        "perf_private": perf_private,
+        "perf_shared": perf_shared,
+    }
+
+
+def test_sec51_spm_sharing(benchmark):
+    d = run_once(benchmark, generate)
+    print("\n=== Section 5.1: SPM sharing analysis ===")
+    print(f"    crossbar growth with sharing: {d['xbar_growth']:.2f}X (paper 3X)")
+    print(
+        f"    SPM area / crossbar area: private={d['spm_to_xbar_private']:.2%} "
+        f"(paper ~20%), shared={d['spm_to_xbar_shared']:.2%} (paper ~7%)"
+    )
+    print(
+        f"    performance with sharing: {d['perf_shared'] / d['perf_private']:.3f}X "
+        f"of private (lockout cost)"
+    )
+    # Crossbar triples.
+    assert d["xbar_growth"] == pytest.approx(3.0)
+    # Area ratios land near the published 20% / 7%.
+    assert 0.15 < d["spm_to_xbar_private"] < 0.25
+    assert 0.05 < d["spm_to_xbar_shared"] < 0.09
+    # The trade is area-losing: crossbar growth across the island far
+    # exceeds the best-case SPM saving.
+    xbar_delta = d["island_xbar_shared"] - d["island_xbar_private"]
+    spm_saving = (1 - SHARING_SPM_REDUCTION) * d["spm_to_xbar_private"] * d[
+        "island_xbar_private"
+    ]
+    assert xbar_delta > spm_saving
+    # And sharing buys no performance (within scheduling noise) to
+    # offset the area loss.
+    assert d["perf_shared"] == pytest.approx(d["perf_private"], rel=0.10)

@@ -1,0 +1,52 @@
+"""Section 5.7: SPM<->DMA network share of island area.
+
+Paper: the network is 16-40 % of island area for rings (depending on
+width and ring count) and 44-50 % for crossbar networks on large
+islands; compute density drops as network resources are added.
+"""
+
+import pytest
+from conftest import run_once
+
+from repro.island import NetworkKind, SpmDmaNetworkConfig
+from repro.sim import SystemConfig, SystemModel
+
+
+def fraction(network, n_islands=3):
+    system = SystemModel(SystemConfig(n_islands=n_islands, network=network))
+    breakdown = system.islands[0].area_breakdown_mm2()
+    return breakdown["spm_dma_network"] / sum(breakdown.values())
+
+
+def generate():
+    rings = {
+        "1-Ring, 16-Byte": SpmDmaNetworkConfig(NetworkKind.RING, 16, 1),
+        "1-Ring, 32-Byte": SpmDmaNetworkConfig(NetworkKind.RING, 32, 1),
+        "2-Ring, 32-Byte": SpmDmaNetworkConfig(NetworkKind.RING, 32, 2),
+        "3-Ring, 32-Byte": SpmDmaNetworkConfig(NetworkKind.RING, 32, 3),
+    }
+    out = {label: fraction(cfg) for label, cfg in rings.items()}
+    out["Proxy Crossbar"] = fraction(
+        SpmDmaNetworkConfig(NetworkKind.PROXY_CROSSBAR)
+    )
+    return out
+
+
+def test_sec57_area_fraction(benchmark):
+    fractions = run_once(benchmark, generate)
+    print("\n=== Section 5.7: SPM<->DMA network area fraction (40-ABB islands) ===")
+    for label, frac in fractions.items():
+        print(f"    {label:<18} {frac:.1%}")
+    ring_fractions = [v for k, v in fractions.items() if "Ring" in k]
+    # Rings: 16-40% of island area.
+    assert min(ring_fractions) == pytest.approx(0.16, abs=0.05)
+    assert max(ring_fractions) == pytest.approx(0.40, abs=0.08)
+    # Crossbar on large islands: 44-50%.
+    assert 0.40 < fractions["Proxy Crossbar"] < 0.60
+    # Monotone: more rings / wider links -> larger fraction.
+    assert (
+        fractions["1-Ring, 16-Byte"]
+        < fractions["1-Ring, 32-Byte"]
+        < fractions["2-Ring, 32-Byte"]
+        < fractions["3-Ring, 32-Byte"]
+    )

@@ -1,0 +1,64 @@
+#!/usr/bin/env python
+"""Design-space exploration of ABB-island internals (paper Section 3-5).
+
+Sweeps island count x SPM<->DMA network for two benchmarks with opposite
+chaining characters, prints the normalized-performance matrix, and
+reports the Pareto front on (performance, compute density) — arriving at
+the paper's conclusion: many small islands with a modest ring network.
+"""
+
+from repro.dse import DesignSpace, Explorer
+from repro.island import NetworkKind, SpmDmaNetworkConfig
+from repro.workloads import get_workload
+
+
+def main() -> None:
+    space = DesignSpace(
+        island_counts=(3, 6, 12, 24),
+        networks=(
+            SpmDmaNetworkConfig(kind=NetworkKind.PROXY_CROSSBAR),
+            SpmDmaNetworkConfig(kind=NetworkKind.RING, link_width_bytes=32, rings=1),
+            SpmDmaNetworkConfig(kind=NetworkKind.RING, link_width_bytes=32, rings=2),
+        ),
+    )
+    explorer = Explorer(
+        [get_workload("Denoise", tiles=12), get_workload("EKF-SLAM", tiles=12)]
+    )
+    print(f"sweeping {space.size()} design points x 2 workloads ...\n")
+    explorer.sweep(space)
+
+    for workload_name in ("Denoise", "EKF-SLAM"):
+        rows = explorer.results_for(workload_name)
+        baseline = next(
+            r.result.performance
+            for r in rows
+            if r.config.n_islands == 3
+            and r.config.network.kind is NetworkKind.PROXY_CROSSBAR
+        )
+        print(f"{workload_name}: performance normalized to 3-island crossbar")
+        for row in rows:
+            print(
+                f"  {row.config.label():<28} "
+                f"perf {row.result.performance / baseline:5.2f}  "
+                f"util {row.result.abb_utilization_avg:5.1%}"
+            )
+        print()
+
+    front = explorer.pareto_front(
+        [lambda r: r.performance, lambda r: r.perf_per_area], "EKF-SLAM"
+    )
+    print("EKF-SLAM Pareto front (performance x compute density):")
+    for row in front:
+        print(
+            f"  {row.config.label():<28} "
+            f"perf {row.result.performance:7.2f}  "
+            f"perf/mm^2 {row.result.perf_per_area:7.3f}"
+        )
+
+    best = explorer.best_by(lambda r: r.performance, "EKF-SLAM")
+    print(f"\nbest-performing design: {best.config.label()}")
+    print("paper's choice:         24 Islands / 2-Ring, 32-Byte")
+
+
+if __name__ == "__main__":
+    main()

@@ -1,0 +1,51 @@
+#!/usr/bin/env python
+"""The CDSC medical-imaging pipeline on an accelerator-rich system.
+
+Runs all four pipeline stages — Deblur, Denoise, Segmentation,
+Registration — on the best design point and reports per-stage speedup
+and energy gain over the 12-core Xeon, reproducing the medical half of
+the paper's Figure 10 and showing where the time goes in each stage's
+energy breakdown.
+"""
+
+from repro import (
+    best_paper_config,
+    compare_to_cmp,
+    get_workload,
+    run_workload,
+    xeon_e5_2420,
+)
+from repro.workloads import MEDICAL_NAMES
+
+
+def main() -> None:
+    config = best_paper_config()
+    baseline = xeon_e5_2420()
+    print(f"system: {config.label()}   baseline: {baseline.name}\n")
+    print(f"{'stage':<16} {'speedup':>9} {'energy gain':>13} {'cycles/tile':>13}")
+
+    total_speedup = []
+    for name in MEDICAL_NAMES:
+        workload = get_workload(name, tiles=16)
+        result = run_workload(config, workload)
+        comparison = compare_to_cmp(result, workload, baseline)
+        total_speedup.append(comparison.speedup)
+        print(
+            f"{name:<16} {comparison.speedup:8.1f}X {comparison.energy_gain:12.1f}X "
+            f"{result.cycles_per_tile:13,.0f}"
+        )
+
+    print(f"\npipeline average speedup: {sum(total_speedup) / len(total_speedup):.1f}X")
+
+    # Where the accelerator's energy goes for the heaviest stage.
+    result = run_workload(config, get_workload("Segmentation", tiles=16))
+    print("\nSegmentation energy breakdown:")
+    total = sum(result.energy_breakdown_nj.values())
+    for category, energy in sorted(
+        result.energy_breakdown_nj.items(), key=lambda kv: -kv[1]
+    ):
+        print(f"  {category:<12} {energy / total:6.1%}")
+
+
+if __name__ == "__main__":
+    main()

@@ -1,0 +1,42 @@
+#!/usr/bin/env python
+"""Quickstart: simulate one benchmark on the paper's best design.
+
+Builds the 24-island, 2-ring accelerator-rich system from Section 5.8,
+runs the Denoise benchmark through the ABC, and prints performance,
+energy and utilization, plus the speedup over the 12-core Xeon baseline.
+"""
+
+from repro import (
+    best_paper_config,
+    compare_to_cmp,
+    get_workload,
+    run_workload,
+    xeon_e5_2420,
+)
+
+
+def main() -> None:
+    config = best_paper_config()
+    workload = get_workload("Denoise", tiles=16)
+
+    print(f"system:   {config.label()}")
+    print(f"workload: {workload.name} ({workload.tiles} tiles) - {workload.description}")
+
+    result = run_workload(config, workload)
+    print(f"\ncycles:            {result.total_cycles:,.0f}")
+    print(f"cycles/tile:       {result.cycles_per_tile:,.0f}")
+    print(f"energy/tile:       {result.energy_per_tile_nj / 1e6:.3f} mJ")
+    print(f"accelerator area:  {result.area_mm2:.1f} mm^2")
+    print(
+        f"ABB utilization:   {result.abb_utilization_avg:.1%} avg, "
+        f"{result.abb_utilization_peak:.1%} peak"
+    )
+
+    comparison = compare_to_cmp(result, workload, xeon_e5_2420())
+    print(f"\nvs {comparison.cmp_name}:")
+    print(f"  speedup:     {comparison.speedup:.1f}X")
+    print(f"  energy gain: {comparison.energy_gain:.1f}X")
+
+
+if __name__ == "__main__":
+    main()

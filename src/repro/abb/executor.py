@@ -1,0 +1,79 @@
+"""Value-level execution of ABB flow graphs.
+
+A :class:`FunctionalExecutor` runs a flow graph on real data: every task
+is bound to a callable (usually a closure over one of the
+:mod:`repro.abb.functional` blocks) that receives its producers' outputs
+in edge order plus any externally supplied memory inputs, and returns an
+array.  Sink outputs are collected as the graph's result.
+
+This is the correctness half of composition: the timing simulator says
+*when* a virtual accelerator finishes; this executor says *what* it
+computes, so composed graphs can be validated against software
+references (see ``tests/test_functional_validation.py``).
+"""
+
+from __future__ import annotations
+
+import typing
+
+import numpy as np
+
+from repro.abb.flowgraph import ABBFlowGraph
+from repro.errors import ConfigError, SimulationError
+
+#: A task implementation: (chained_inputs, memory_inputs) -> output array.
+TaskImpl = typing.Callable[
+    [typing.List[np.ndarray], typing.List[np.ndarray]], np.ndarray
+]
+
+
+class FunctionalExecutor:
+    """Executes an :class:`ABBFlowGraph` on concrete data."""
+
+    def __init__(self, graph: ABBFlowGraph) -> None:
+        self.graph = graph
+        self._impls: dict[str, TaskImpl] = {}
+        self._memory_inputs: dict[str, list[np.ndarray]] = {}
+        self.outputs: dict[str, np.ndarray] = {}
+
+    def bind(self, task_id: str, impl: TaskImpl) -> "FunctionalExecutor":
+        """Attach an implementation to a task (chainable)."""
+        self.graph.task(task_id)  # validates existence
+        self._impls[task_id] = impl
+        return self
+
+    def feed(self, task_id: str, *arrays) -> "FunctionalExecutor":
+        """Supply memory-resident operands for a task (chainable)."""
+        self.graph.task(task_id)
+        self._memory_inputs[task_id] = [
+            np.asarray(a, dtype=np.float64) for a in arrays
+        ]
+        return self
+
+    def run(self) -> dict[str, np.ndarray]:
+        """Execute all tasks in dependency order; returns sink outputs."""
+        missing = [
+            t.task_id for t in self.graph.tasks if t.task_id not in self._impls
+        ]
+        if missing:
+            raise ConfigError(f"tasks without implementations: {missing}")
+        self.outputs = {}
+        for task_id in self.graph.topological_order():
+            chained = [
+                self.outputs[producer]
+                for producer in self.graph.predecessors(task_id)
+            ]
+            memory = self._memory_inputs.get(task_id, [])
+            result = self._impls[task_id](chained, memory)
+            if result is None:
+                raise SimulationError(f"task {task_id!r} returned no output")
+            self.outputs[task_id] = np.asarray(result, dtype=np.float64)
+        return {sink: self.outputs[sink] for sink in self.graph.sinks()}
+
+    def output_of(self, task_id: str) -> np.ndarray:
+        """Output of any task after :meth:`run`."""
+        if task_id not in self.outputs:
+            raise SimulationError(
+                f"task {task_id!r} has not produced output (run() first?)"
+            )
+        return self.outputs[task_id]

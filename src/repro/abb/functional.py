@@ -1,0 +1,143 @@
+"""Functional (value-level) semantics for ABBs.
+
+The timing models elsewhere in this package treat ABB invocations as
+opaque work.  This module gives each ABB type an executable meaning over
+numpy arrays so that a composed flow graph can be *run on data* and
+checked against a software reference — the property that makes a
+composed virtual accelerator a drop-in replacement for the monolithic
+original.
+
+Semantics (all elementwise over equal-length vectors):
+
+* ``poly`` — a 16-input multiply-accumulate tree: up to 8 operand pairs
+  ``(a_i, b_i)`` with coefficients ``c_i``, computing ``sum c_i a_i b_i``.
+  This covers stencils/convolutions (pixel x weight), squares (a_i = b_i)
+  and dot-product partials.
+* ``div`` — ``a / b``.
+* ``sqrt`` — ``sqrt(x)``.
+* ``pow`` — ``a ** b``, or ``exp(-x)`` in Gaussian mode.
+* ``sum`` — reduction of up to 16 inputs; plain sum or sum of absolute
+  differences over pairs (SAD mode).
+"""
+
+from __future__ import annotations
+
+import typing
+
+import numpy as np
+
+from repro.errors import ConfigError
+
+#: Maximum operand count of the 16-input blocks.
+MAX_POLY_INPUTS = 16
+MAX_POLY_PAIRS = MAX_POLY_INPUTS // 2
+
+
+def _as_arrays(inputs: typing.Sequence) -> list[np.ndarray]:
+    arrays = [np.asarray(x, dtype=np.float64) for x in inputs]
+    if not arrays:
+        raise ConfigError("ABB execution needs at least one input")
+    shape = arrays[0].shape
+    for a in arrays[1:]:
+        if a.shape != shape:
+            raise ConfigError(
+                f"ABB operands must share a shape, got {shape} and {a.shape}"
+            )
+    return arrays
+
+
+def poly_abb(
+    pairs: typing.Sequence[tuple],
+    coefficients: typing.Optional[typing.Sequence[float]] = None,
+) -> np.ndarray:
+    """The 16-input polynomial block: ``sum c_i * a_i * b_i``.
+
+    Args:
+        pairs: Up to 8 operand pairs ``(a_i, b_i)``.
+        coefficients: One weight per pair (default all ones).
+    """
+    if not pairs:
+        raise ConfigError("poly ABB needs at least one operand pair")
+    if len(pairs) > MAX_POLY_PAIRS:
+        raise ConfigError(
+            f"poly ABB takes at most {MAX_POLY_PAIRS} pairs, got {len(pairs)}"
+        )
+    if coefficients is None:
+        coefficients = [1.0] * len(pairs)
+    if len(coefficients) != len(pairs):
+        raise ConfigError("one coefficient per operand pair required")
+    flat: list = []
+    for pair in pairs:
+        if len(pair) != 2:
+            raise ConfigError("poly operands must be (a, b) pairs")
+        flat.extend(pair)
+    arrays = _as_arrays(flat)
+    result = np.zeros_like(arrays[0])
+    for i, c in enumerate(coefficients):
+        result += c * arrays[2 * i] * arrays[2 * i + 1]
+    return result
+
+
+def div_abb(numerator, denominator) -> np.ndarray:
+    """The FP divide block: elementwise ``a / b``."""
+    a, b = _as_arrays([numerator, denominator])
+    if np.any(b == 0):
+        raise ConfigError("div ABB: divisor contains zero")
+    return a / b
+
+
+def sqrt_abb(x) -> np.ndarray:
+    """The square-root block: elementwise ``sqrt(x)``."""
+    (a,) = _as_arrays([x])
+    if np.any(a < 0):
+        raise ConfigError("sqrt ABB: negative input")
+    return np.sqrt(a)
+
+
+def pow_abb(base, exponent=None, gaussian: bool = False) -> np.ndarray:
+    """The power block: ``a ** b``, or ``exp(-x)`` in Gaussian mode.
+
+    Gaussian mode implements the ``gaussian`` opcode the compiler maps
+    onto this block (kernel-weight evaluation).
+    """
+    if gaussian:
+        (x,) = _as_arrays([base])
+        return np.exp(-x)
+    if exponent is None:
+        raise ConfigError("pow ABB needs an exponent (or gaussian=True)")
+    a, b = _as_arrays([base, exponent])
+    return np.power(a, b)
+
+
+def sum_abb(
+    inputs: typing.Sequence, sad_pairs: bool = False
+) -> np.ndarray:
+    """The 16-input sum tree.
+
+    Plain mode reduces up to 16 inputs elementwise.  SAD mode treats the
+    inputs as pairs and computes ``sum |a_i - b_i|`` (the ``sad``
+    opcode used by Disparity Map).
+    """
+    arrays = _as_arrays(inputs)
+    if len(arrays) > MAX_POLY_INPUTS:
+        raise ConfigError(
+            f"sum ABB takes at most {MAX_POLY_INPUTS} inputs, got {len(arrays)}"
+        )
+    if sad_pairs:
+        if len(arrays) % 2 != 0:
+            raise ConfigError("SAD mode needs an even number of inputs")
+        result = np.zeros_like(arrays[0])
+        for i in range(0, len(arrays), 2):
+            result += np.abs(arrays[i] - arrays[i + 1])
+        return result
+    return np.sum(arrays, axis=0)
+
+
+#: Executable semantics by ABB type name.
+ABB_SEMANTICS: dict[str, typing.Callable] = {
+    "poly": poly_abb,
+    "div": div_abb,
+    "sqrt": sqrt_abb,
+    "pow": pow_abb,
+    "sum": sum_abb,
+}

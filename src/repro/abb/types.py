@@ -1,0 +1,88 @@
+"""ABB type specifications.
+
+An :class:`ABBType` captures everything the simulator, the area model and
+the power model need to know about one kind of accelerator building block:
+pipeline latency, initiation interval, per-invocation data movement, SPM
+requirements, and physical (area/energy) characteristics.
+
+The physical numbers are synthetic but sized consistently with the paper's
+45 nm context (ASIC FP operations cost single-digit picojoules; SPM banks
+are individually small; see ``repro.power``).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+from repro.errors import ConfigError
+
+
+@dataclass(frozen=True)
+class ABBType:
+    """Static description of one accelerator-building-block type.
+
+    Attributes:
+        name: Unique type name (e.g. ``"poly"``).
+        latency: Pipeline depth in cycles — time from operand arrival to
+            first result.
+        initiation_interval: Cycles between successive pipelined
+            invocations at peak throughput (1 = fully pipelined).
+        input_bytes: Operand bytes consumed per invocation.
+        output_bytes: Result bytes produced per invocation.
+        spm_banks_min: Number of SPM banks (in aggregate, across operand
+            and result buffers) required to sustain peak throughput.  The
+            paper's "minimum porting" configuration provisions exactly
+            this many; the over-provisioned configuration doubles it.
+        spm_bank_bytes: Capacity of each SPM bank in bytes.
+        area_mm2: Silicon area of the compute engine, excluding SPM and
+            interconnect, in mm^2 (45 nm).
+        energy_per_invocation_nj: Dynamic energy of one invocation, nJ.
+        static_power_mw: Leakage power while powered on, mW.
+    """
+
+    name: str
+    latency: int
+    initiation_interval: int
+    input_bytes: int
+    output_bytes: int
+    spm_banks_min: int
+    spm_bank_bytes: int
+    area_mm2: float
+    energy_per_invocation_nj: float
+    static_power_mw: float
+
+    def __post_init__(self) -> None:
+        if not self.name:
+            raise ConfigError("ABB type name must be non-empty")
+        if self.latency < 1:
+            raise ConfigError(f"{self.name}: latency must be >= 1")
+        if self.initiation_interval < 1:
+            raise ConfigError(f"{self.name}: initiation interval must be >= 1")
+        if self.input_bytes <= 0 or self.output_bytes <= 0:
+            raise ConfigError(f"{self.name}: operand sizes must be positive")
+        if self.spm_banks_min < 1:
+            raise ConfigError(f"{self.name}: needs at least one SPM bank")
+        if self.spm_bank_bytes <= 0:
+            raise ConfigError(f"{self.name}: SPM bank size must be positive")
+        if self.area_mm2 <= 0:
+            raise ConfigError(f"{self.name}: area must be positive")
+        if self.energy_per_invocation_nj < 0 or self.static_power_mw < 0:
+            raise ConfigError(f"{self.name}: energy/power must be non-negative")
+
+    def compute_cycles(self, invocations: int) -> float:
+        """Cycles to stream ``invocations`` inputs through the pipeline.
+
+        Equals fill latency plus one initiation interval per further
+        invocation — the standard pipelined-engine timing model.
+        """
+        if invocations <= 0:
+            raise ConfigError(f"invocations must be positive, got {invocations}")
+        return self.latency + (invocations - 1) * self.initiation_interval
+
+    def peak_bytes_per_cycle(self) -> float:
+        """Aggregate operand+result bandwidth at peak throughput."""
+        return (self.input_bytes + self.output_bytes) / self.initiation_interval
+
+    def dynamic_energy_nj(self, invocations: int) -> float:
+        """Dynamic energy of ``invocations`` invocations, in nJ."""
+        return self.energy_per_invocation_nj * invocations

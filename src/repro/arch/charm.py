@@ -1,0 +1,36 @@
+"""CHARM: the composable heterogeneous accelerator-rich generation [8].
+
+CHARM is the architecture the rest of this library models natively —
+ABB islands composed by the ABC — so this module is a thin preset layer:
+the CHARM-generation configuration plus a one-call runner.
+"""
+
+from __future__ import annotations
+
+import typing
+
+from repro.island import NetworkKind, SpmDmaNetworkConfig
+from repro.sim.results import SimResult
+from repro.sim.run import run_workload
+from repro.sim.system import SystemConfig
+from repro.workloads.base import Workload
+
+#: The original CHARM paper used crossbar-based islands; 8 islands is its
+#: published organization for the 120-ABB platform.
+CHARM_GENERATION_ISLANDS = 8
+
+
+def charm_config(n_islands: int = CHARM_GENERATION_ISLANDS) -> SystemConfig:
+    """The CHARM-generation configuration (crossbar islands)."""
+    return SystemConfig(
+        n_islands=n_islands,
+        network=SpmDmaNetworkConfig(kind=NetworkKind.PROXY_CROSSBAR),
+    )
+
+
+def run_charm(
+    workload: Workload,
+    config: typing.Optional[SystemConfig] = None,
+) -> SimResult:
+    """Run a workload on the CHARM generation (or a custom config)."""
+    return run_workload(config if config is not None else charm_config(), workload)

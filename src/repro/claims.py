@@ -1,0 +1,78 @@
+"""The paper's published claims, as structured data.
+
+A single source of truth for every number the paper reports, consumed by
+the benchmark harness (assertions + printed comparisons), EXPERIMENTS.md
+and the tests.  Keeping them in one place means a claim is never typed
+twice.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+
+@dataclass(frozen=True)
+class Fig10Row:
+    """One bar pair of Figure 10."""
+
+    speedup: float
+    energy_gain: float
+
+
+#: Figure 10 — per-benchmark speedup / energy gain vs the 12-core Xeon.
+FIG10: dict[str, Fig10Row] = {
+    "Deblur": Fig10Row(3.7, 10.2),
+    "Denoise": Fig10Row(4.3, 12.1),
+    "Segmentation": Fig10Row(28.6, 78.4),
+    "Registration": Fig10Row(4.8, 13.4),
+    "Robot Localization": Fig10Row(3.0, 8.3),
+    "EKF-SLAM": Fig10Row(1.8, 5.1),
+    "Disparity Map": Fig10Row(3.9, 11.0),
+}
+
+#: Figure 10 headline averages (Section 5.8).
+FIG10_AVERAGE_SPEEDUP = 7.0
+FIG10_AVERAGE_ENERGY_GAIN = 20.0
+FIG10_VS_4CORE_SPEEDUP = 25.0
+FIG10_VS_4CORE_ENERGY_GAIN = 76.0
+ABB_UTILIZATION_AVG = 0.185
+ABB_UTILIZATION_PEAK = 0.435
+
+#: Section 2 generation results (vs the 4-core Xeon E5405).
+ARC_SPEEDUP = 16.0
+ARC_ENERGY_GAIN = 13.0
+CHARM_OVER_ARC = 2.0  # "over 2X"
+CAMEL_SPEEDUP = 12.0
+CAMEL_ENERGY_GAIN = 14.0
+
+#: Section 1 per-op ASIC savings factors.
+OP_SAVINGS = {"add32": 61.0, "mul32": 17.0, "fp_sp": 19.0}
+AES_GAP = 3e6
+
+#: Figure 2/3 headline fractions.
+COMPUTE_FRACTION = 0.26
+MEMORY_FRACTION = 0.10
+OVERHEAD_FRACTION = 0.64
+ASIC_SAVINGS_SHARE = 24.9
+ADDRESSABLE_FRACTION = 0.89
+
+#: Section 5.1 SPM-sharing ratios.
+SHARING_XBAR_GROWTH = 3.0
+SPM_TO_XBAR_PRIVATE = 0.20
+SPM_TO_XBAR_SHARED = 0.07
+SHARING_SPM_REDUCTION = 0.66
+
+#: Section 5.2 chaining-crossbar area share at 40-ABB islands.
+CHAINING_XBAR_AREA_FRACTION = 0.99
+
+#: Section 5.7 network area shares of island area.
+RING_AREA_FRACTION_RANGE = (0.16, 0.40)
+CROSSBAR_AREA_FRACTION_RANGE = (0.44, 0.50)
+
+#: The evaluated platform (Section 4).
+TOTAL_ABBS = 120
+ABB_MIX = {"poly": 78, "div": 18, "sqrt": 9, "pow": 6, "sum": 9}
+MEMORY_CONTROLLERS = 4
+MC_LATENCY_CYCLES = 180
+MC_BANDWIDTH_GBPS = 10
+ISLAND_COUNTS = (3, 6, 12, 24)

@@ -1,0 +1,230 @@
+"""Command-line interface: regenerate paper figures from the terminal.
+
+Usage::
+
+    python -m repro fig10              # best design vs the 12-core Xeon
+    python -m repro fig7 --tiles 16    # ring-vs-crossbar table
+    python -m repro run Denoise --islands 24 --network ring2x32
+    python -m repro report             # every figure, in order
+"""
+
+from __future__ import annotations
+
+import argparse
+import sys
+import typing
+
+from repro.arch.presets import PAPER_NETWORKS
+from repro.cmp import compare_to_cmp, xeon_e5_2420
+from repro.dse import (
+    fig6_series,
+    fig7_table,
+    fig8_table,
+    fig9_table,
+    fig10_table,
+)
+from repro.dse.plots import hbar_chart, line_series
+from repro.errors import ConfigError, ReproError
+from repro.power import OP_ENERGY_TABLE, PipelineEnergyModel, aes_efficiency_gap
+from repro.sim import SystemConfig, run_workload
+from repro.workloads import PAPER_BENCHMARKS, get_workload
+
+#: CLI aliases for the paper's network configurations.
+NETWORK_ALIASES = {
+    "crossbar": "Crossbar",
+    "ring1x16": "1-Ring, 16-Byte",
+    "ring1x32": "1-Ring, 32-Byte",
+    "ring2x32": "2-Ring, 32-Byte",
+    "ring3x32": "3-Ring, 32-Byte",
+}
+
+
+def _print(text: str) -> None:
+    sys.stdout.write(text + "\n")
+
+
+# --------------------------------------------------------------- commands
+def cmd_fig2(_args) -> None:
+    """Print the Figure 2 pipeline energy breakdown."""
+    model = PipelineEnergyModel()
+    _print(hbar_chart(model.shares, title="Figure 2: pipeline energy breakdown (%)"))
+    _print(
+        f"compute {model.compute_fraction():.1%}, memory "
+        f"{model.memory_fraction():.1%}, overhead {model.overhead_fraction():.1%}"
+    )
+
+
+def cmd_fig3(_args) -> None:
+    """Print the Figure 3 ASIC-compute breakdown."""
+    fig3 = PipelineEnergyModel().with_asic_compute()
+    _print(hbar_chart(fig3, title="Figure 3: breakdown with ASIC compute units (%)"))
+
+
+def cmd_ops(_args) -> None:
+    """Print the Section 1 per-op savings and AES gap."""
+    savings = {name: op.savings_factor for name, op in OP_ENERGY_TABLE.items()}
+    _print(hbar_chart(savings, title="Section 1: ASIC energy savings (X)"))
+    _print(f"AES efficiency gap: {aes_efficiency_gap():,.0f}X")
+
+
+def cmd_fig6(args) -> None:
+    """Print the Figure 6 island-scaling series."""
+    series = fig6_series(tiles=args.tiles)
+    _print(
+        line_series(
+            series,
+            x_labels=[3, 6, 12, 24],
+            title="Figure 6: performance vs islands (normalized to 3-island crossbar)",
+        )
+    )
+
+
+def _print_ring_table(table, title: str) -> None:
+    _print(title)
+    for n_islands, rows in table.items():
+        _print(f"-- {n_islands} islands --")
+        for name, row in rows.items():
+            _print(
+                f"  {name:<20} "
+                + "  ".join(f"{label.split(',')[0]}={value:4.2f}" for label, value in row.items())
+            )
+
+
+def cmd_fig7(args) -> None:
+    """Print the Figure 7 ring-vs-crossbar table."""
+    _print_ring_table(
+        fig7_table(tiles=args.tiles),
+        "Figure 7: ring performance normalized to proxy crossbar",
+    )
+
+
+def cmd_fig8(args) -> None:
+    """Print the Figure 8 performance-per-energy table."""
+    _print_ring_table(
+        fig8_table(tiles=args.tiles),
+        "Figure 8: performance per unit energy (normalized)",
+    )
+
+
+def cmd_fig9(args) -> None:
+    """Print the Figure 9 performance-per-area table."""
+    _print_ring_table(
+        fig9_table(tiles=args.tiles),
+        "Figure 9: performance per unit area (normalized)",
+    )
+
+
+def cmd_fig10(args) -> None:
+    """Print the Figure 10 CMP comparison as bar charts."""
+    table = fig10_table(tiles=args.tiles)
+    speedups = {name: row["speedup"] for name, row in table.items()}
+    _print(
+        hbar_chart(
+            speedups,
+            title="Figure 10: speedup over 12-core Xeon E5-2420",
+            reference=1.0,
+        )
+    )
+    gains = {name: row["energy_gain"] for name, row in table.items()}
+    _print("")
+    _print(hbar_chart(gains, title="Figure 10: energy gain over the CMP"))
+
+
+def cmd_run(args) -> None:
+    """Run one benchmark on one configuration and summarize it."""
+    if args.network not in NETWORK_ALIASES:
+        raise ConfigError(
+            f"unknown network {args.network!r}; choose from "
+            f"{sorted(NETWORK_ALIASES)}"
+        )
+    config = SystemConfig(
+        n_islands=args.islands,
+        network=PAPER_NETWORKS[NETWORK_ALIASES[args.network]],
+    )
+    workload = get_workload(args.workload, tiles=args.tiles)
+    result = run_workload(config, workload)
+    _print(f"{workload.name} on {config.label()}")
+    _print(f"  cycles/tile      {result.cycles_per_tile:,.0f}")
+    _print(f"  energy/tile      {result.energy_per_tile_nj / 1e6:.3f} mJ")
+    _print(f"  area             {result.area_mm2:.1f} mm^2")
+    _print(
+        f"  ABB utilization  {result.abb_utilization_avg:.1%} avg / "
+        f"{result.abb_utilization_peak:.1%} peak"
+    )
+    comparison = compare_to_cmp(result, workload, xeon_e5_2420())
+    _print(
+        f"  vs {comparison.cmp_name}: {comparison.speedup:.1f}X speedup, "
+        f"{comparison.energy_gain:.1f}X energy gain"
+    )
+
+
+def cmd_topology(args) -> None:
+    """Render the mesh floorplan (the Figure 4 view) for N islands."""
+    from repro.noc import MeshTopology
+    from repro.noc.diagram import render_topology
+
+    _print(render_topology(MeshTopology(n_islands=args.islands)))
+
+
+def cmd_report(args) -> None:
+    """Regenerate every figure, in paper order."""
+    for fn in (cmd_fig2, cmd_fig3, cmd_ops):
+        fn(args)
+        _print("")
+    for fn in (cmd_fig6, cmd_fig7, cmd_fig8, cmd_fig9, cmd_fig10):
+        fn(args)
+        _print("")
+
+
+# ----------------------------------------------------------------- parser
+def build_parser() -> argparse.ArgumentParser:
+    """Construct the argument parser with all figure subcommands."""
+    parser = argparse.ArgumentParser(
+        prog="repro",
+        description="Regenerate figures from 'Accelerator-Rich Architectures' (DAC 2014).",
+    )
+    sub = parser.add_subparsers(dest="command", required=True)
+
+    def add(name: str, handler, help_text: str, tiles: bool = True):
+        p = sub.add_parser(name, help=help_text)
+        p.set_defaults(handler=handler)
+        if tiles:
+            p.add_argument("--tiles", type=int, default=12, help="tiles per run")
+        return p
+
+    add("fig2", cmd_fig2, "pipeline energy breakdown", tiles=False)
+    add("fig3", cmd_fig3, "breakdown with ASIC compute units", tiles=False)
+    add("ops", cmd_ops, "per-op energy savings and AES gap", tiles=False)
+    add("fig6", cmd_fig6, "networks across island counts")
+    add("fig7", cmd_fig7, "ring vs crossbar performance")
+    add("fig8", cmd_fig8, "performance per unit energy")
+    add("fig9", cmd_fig9, "performance per unit area")
+    add("fig10", cmd_fig10, "best design vs 12-core CMP")
+    add("report", cmd_report, "all figures in order")
+
+    run = add("run", cmd_run, "run one benchmark on one configuration")
+    run.add_argument("workload", choices=sorted(PAPER_BENCHMARKS))
+    run.add_argument("--islands", type=int, default=24)
+    run.add_argument(
+        "--network", default="ring2x32", help=f"one of {sorted(NETWORK_ALIASES)}"
+    )
+
+    topo = add("topology", cmd_topology, "render the mesh floorplan", tiles=False)
+    topo.add_argument("--islands", type=int, default=24)
+    return parser
+
+
+def main(argv: typing.Optional[typing.Sequence[str]] = None) -> int:
+    """CLI entry point; returns a process exit code."""
+    parser = build_parser()
+    args = parser.parse_args(argv)
+    try:
+        args.handler(args)
+    except ReproError as err:
+        sys.stderr.write(f"error: {err}\n")
+        return 1
+    return 0
+
+
+if __name__ == "__main__":  # pragma: no cover - exercised via __main__
+    sys.exit(main())

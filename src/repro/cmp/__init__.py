@@ -1,0 +1,25 @@
+"""Chip multi-processor (CMP) baseline models.
+
+The paper compares its accelerator-rich designs against software
+execution on Intel Xeon CMPs: a 4-core 2 GHz E5405 (ARC/CHARM/CAMEL
+papers) and a 12-core 1.9 GHz E5-2420 (Figure 10).  The model here is
+analytic: per-benchmark calibrated single-core cycle counts, Amdahl-style
+multicore scaling with a parallel-efficiency factor, and TDP-derived
+power.
+"""
+
+from repro.cmp.cpu import CoreModel
+from repro.cmp.multicore import MulticoreModel
+from repro.cmp.xeon import XEON_E5405, XEON_E5_2420, xeon_e5405, xeon_e5_2420
+from repro.cmp.compare import compare_to_cmp, ComparisonResult
+
+__all__ = [
+    "ComparisonResult",
+    "CoreModel",
+    "MulticoreModel",
+    "XEON_E5405",
+    "XEON_E5_2420",
+    "compare_to_cmp",
+    "xeon_e5405",
+    "xeon_e5_2420",
+]

@@ -1,0 +1,66 @@
+"""Accelerator-vs-CMP comparison (the Figure 10 computation)."""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+from repro.cmp.multicore import MulticoreModel
+from repro.errors import ConfigError
+from repro.sim.results import SimResult
+from repro.units import ACCEL_CLOCK, Clock
+from repro.workloads.base import Workload
+
+
+@dataclass(frozen=True)
+class ComparisonResult:
+    """Speedup and energy gain of an accelerator run over a CMP.
+
+    Attributes mirror the paper's Figure 10 bars: ``speedup`` is
+    CMP-time / accelerator-time; ``energy_gain`` is CMP-energy /
+    accelerator-energy.
+    """
+
+    workload: str
+    cmp_name: str
+    accelerator_time_s: float
+    cmp_time_s: float
+    accelerator_energy_j: float
+    cmp_energy_j: float
+
+    @property
+    def speedup(self) -> float:
+        """How much faster the accelerator-rich design runs."""
+        return self.cmp_time_s / self.accelerator_time_s
+
+    @property
+    def energy_gain(self) -> float:
+        """How much less energy the accelerator-rich design uses."""
+        return self.cmp_energy_j / self.accelerator_energy_j
+
+
+def compare_to_cmp(
+    result: SimResult,
+    workload: Workload,
+    cmp_model: MulticoreModel,
+    accel_clock: Clock = ACCEL_CLOCK,
+) -> ComparisonResult:
+    """Compare a simulated accelerator run against a CMP baseline.
+
+    The simulated tile count must match the workload's (both sides must
+    execute the same amount of work).
+    """
+    if result.tiles != workload.tiles:
+        raise ConfigError(
+            f"result ran {result.tiles} tiles but workload defines "
+            f"{workload.tiles}"
+        )
+    accel_time_s = accel_clock.cycles_to_seconds(result.total_cycles)
+    accel_energy_j = result.energy_nj * 1e-9
+    return ComparisonResult(
+        workload=workload.name,
+        cmp_name=cmp_model.name,
+        accelerator_time_s=accel_time_s,
+        cmp_time_s=cmp_model.execution_time_s(workload),
+        accelerator_energy_j=accel_energy_j,
+        cmp_energy_j=cmp_model.energy_j(workload),
+    )

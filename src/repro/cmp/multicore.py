@@ -1,0 +1,71 @@
+"""Multicore (CMP) software-execution model.
+
+Tiles are independent, so the CMP parallelizes tile-level work across
+cores with a parallel-efficiency factor covering scheduling overhead and
+shared-resource (L2/memory-bandwidth) contention.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+from repro.cmp.cpu import CoreModel
+from repro.errors import ConfigError
+from repro.workloads.base import Workload
+
+#: Default tile-parallel efficiency of the CMP baseline.
+DEFAULT_PARALLEL_EFFICIENCY = 0.85
+
+#: Default socket-level uncore power as a fraction of total core power.
+UNCORE_POWER_FRACTION = 0.25
+
+
+@dataclass(frozen=True)
+class MulticoreModel:
+    """A CMP: N identical cores running the software implementation.
+
+    ``uncore_power_fraction`` covers the platform power beyond the cores
+    (LLC, memory controllers, DIMMs); FSB-era FB-DIMM systems like the
+    Xeon E5405 server pay a much larger fraction than DDR3 platforms.
+    """
+
+    core: CoreModel
+    n_cores: int
+    parallel_efficiency: float = DEFAULT_PARALLEL_EFFICIENCY
+    uncore_power_fraction: float = UNCORE_POWER_FRACTION
+
+    def __post_init__(self) -> None:
+        if self.n_cores < 1:
+            raise ConfigError("CMP needs at least one core")
+        if not 0.0 < self.parallel_efficiency <= 1.0:
+            raise ConfigError(
+                f"parallel efficiency must be in (0, 1], got "
+                f"{self.parallel_efficiency}"
+            )
+        if self.uncore_power_fraction < 0:
+            raise ConfigError("uncore power fraction must be non-negative")
+
+    @property
+    def name(self) -> str:
+        """Display name, e.g. ``"12-core Xeon E5-2420"``."""
+        return f"{self.n_cores}-core {self.core.name}"
+
+    def effective_cores(self) -> float:
+        """Core count degraded by parallel efficiency."""
+        if self.n_cores == 1:
+            return 1.0
+        return self.n_cores * self.parallel_efficiency
+
+    def execution_time_s(self, workload: Workload) -> float:
+        """Wall-clock seconds to run every tile in software."""
+        total_cycles = workload.sw_cycles_per_tile * workload.tiles
+        return self.core.execution_time_s(total_cycles / self.effective_cores())
+
+    def socket_power_w(self) -> float:
+        """Average socket power under full load (cores + uncore)."""
+        core_power = self.core.active_power_w * self.n_cores
+        return core_power * (1.0 + self.uncore_power_fraction)
+
+    def energy_j(self, workload: Workload) -> float:
+        """Socket energy to run the workload."""
+        return self.socket_power_w() * self.execution_time_s(workload)

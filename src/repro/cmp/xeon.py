@@ -1,0 +1,39 @@
+"""The paper's Xeon baselines.
+
+* Intel Xeon E5405 — 4 cores @ 2 GHz, the server used by the ARC [6],
+  CHARM [8] and CAMEL [9] comparisons.
+* Intel Xeon E5-2420 — 12 cores @ 1.9 GHz, the Figure 10 baseline.
+
+Per-core active power derives from socket TDP spread across cores.
+"""
+
+from __future__ import annotations
+
+from repro.cmp.cpu import CoreModel
+from repro.cmp.multicore import MulticoreModel
+
+#: 4-core 2 GHz Xeon E5405: 80 W TDP -> 20 W/core active.
+XEON_E5405 = CoreModel(name="Xeon E5405", freq_ghz=2.0, active_power_w=20.0)
+
+#: 12-core 1.9 GHz Xeon E5-2420 (paper's description): 95 W TDP.
+XEON_E5_2420 = CoreModel(name="Xeon E5-2420", freq_ghz=1.9, active_power_w=95.0 / 12)
+
+
+def xeon_e5405() -> MulticoreModel:
+    """The 4-core 2 GHz CMP used by the ARC/CHARM/CAMEL comparisons.
+
+    FSB-based with FB-DIMM memory: tile scaling is poorer (shared front-
+    side bus) and platform power beyond the cores is much higher than on
+    the DDR3-era E5-2420.
+    """
+    return MulticoreModel(
+        core=XEON_E5405,
+        n_cores=4,
+        parallel_efficiency=0.70,
+        uncore_power_fraction=0.65,
+    )
+
+
+def xeon_e5_2420() -> MulticoreModel:
+    """The 12-core 1.9 GHz CMP of Figure 10."""
+    return MulticoreModel(core=XEON_E5_2420, n_cores=12)

@@ -1,0 +1,35 @@
+"""Compiler support for composable accelerators.
+
+The CHARM/CAMEL compiler framework [8, 9, 15] analyzes an accelerator
+kernel, determines a minimum set of ABBs to cover it, and emits an ABB
+flow graph that the ABC consumes at runtime.  This package provides a
+small kernel IR, the decomposition pass with its opcode->ABB pattern
+table, the minimum-set coverage analysis, and the CAMEL programmable-
+fabric fallback for opcodes outside the ABB library.
+"""
+
+from repro.compiler.kernel import Kernel, KernelOp
+from repro.compiler.decompose import (
+    PATTERN_TABLE,
+    decompose,
+    supported_opcodes,
+)
+from repro.compiler.coverage import minimum_abb_set, coverage_report
+from repro.compiler.pf_mapping import (
+    PF_ABB_TYPE_NAME,
+    make_pf_abb_type,
+    register_fabric,
+)
+
+__all__ = [
+    "Kernel",
+    "KernelOp",
+    "PATTERN_TABLE",
+    "PF_ABB_TYPE_NAME",
+    "coverage_report",
+    "decompose",
+    "make_pf_abb_type",
+    "minimum_abb_set",
+    "register_fabric",
+    "supported_opcodes",
+]

@@ -1,0 +1,119 @@
+"""Kernel decomposition: map kernel ops onto ABB types.
+
+The CHARM compiler decomposes compute-intensive kernels into the ABB
+vocabulary using pattern matching [15].  :data:`PATTERN_TABLE` maps
+high-level opcodes onto the five medical-imaging ABB types; anything the
+table does not cover either raises :class:`DecompositionError` (CHARM) or
+falls back to the programmable fabric when ``allow_fabric=True`` (CAMEL).
+"""
+
+from __future__ import annotations
+
+
+from repro.abb.flowgraph import ABBFlowGraph
+from repro.abb.library import ABBLibrary
+from repro.compiler.kernel import Kernel
+from repro.compiler.pf_mapping import PF_ABB_TYPE_NAME
+from repro.errors import DecompositionError
+
+#: Opcode -> ABB type.  Stencil/filter math lowers to the 16-input
+#: polynomial block; reductions to the sum tree; the rest are direct.
+PATTERN_TABLE: dict[str, str] = {
+    # polynomial-evaluable patterns
+    "poly_eval": "poly",
+    "polynomial": "poly",
+    "stencil": "poly",
+    "convolve": "poly",
+    "gradient": "poly",
+    "interpolate": "poly",
+    "mad_tree": "poly",
+    "matvec_row": "poly",
+    # divide / inverse
+    "divide": "div",
+    "reciprocal": "div",
+    "normalize": "div",
+    # square root
+    "sqrt": "sqrt",
+    "rsqrt": "sqrt",
+    "norm2": "sqrt",
+    # power / exponential
+    "power": "pow",
+    "exp": "pow",
+    "log": "pow",
+    "gaussian": "pow",
+    # reductions
+    "reduce_sum": "sum",
+    "dot": "sum",
+    "accumulate": "sum",
+    "sad": "sum",
+}
+
+
+def supported_opcodes() -> set[str]:
+    """Opcodes the baseline (CHARM) platform can lower to ABBs."""
+    return set(PATTERN_TABLE)
+
+
+def decompose(
+    kernel: Kernel,
+    library: ABBLibrary,
+    allow_fabric: bool = False,
+) -> ABBFlowGraph:
+    """Lower a kernel to an ABB flow graph.
+
+    Args:
+        kernel: The kernel IR.
+        library: Available ABB types; every mapped type must exist here.
+        allow_fabric: CAMEL mode — unmapped opcodes become programmable-
+            fabric tasks (type :data:`PF_ABB_TYPE_NAME`) instead of
+            raising.  The library must contain the PF type (see
+            :func:`repro.compiler.pf_mapping.register_fabric`).
+
+    Raises:
+        DecompositionError: An opcode has no ABB pattern (and fabric
+            fallback is off), or a mapped type is missing from the
+            library.
+    """
+    if not kernel.ops:
+        raise DecompositionError(f"kernel {kernel.name!r} has no ops")
+    graph = ABBFlowGraph(name=kernel.name)
+    for op in kernel.ops:
+        abb_type = PATTERN_TABLE.get(op.opcode)
+        if abb_type is None:
+            if not allow_fabric:
+                raise DecompositionError(
+                    f"kernel {kernel.name!r}: opcode {op.opcode!r} has no ABB "
+                    f"pattern; CHARM cannot cover it (CAMEL's programmable "
+                    f"fabric can, pass allow_fabric=True)"
+                )
+            abb_type = PF_ABB_TYPE_NAME
+        if abb_type not in library:
+            raise DecompositionError(
+                f"kernel {kernel.name!r}: opcode {op.opcode!r} maps to ABB "
+                f"type {abb_type!r}, which is not in the library"
+            )
+        graph.add_task(op.op_id, abb_type, op.vector_length)
+    for op in kernel.ops:
+        if not op.inputs:
+            continue
+        # Each input slot (memory or producer) supplies an equal share of
+        # the consumer's operand volume; chained edges therefore carry
+        # operand-sized streams, and the memory share is the remainder.
+        task = graph.task(op.op_id)
+        operand_bytes = task.invocations * library.get(task.abb_type).input_bytes
+        share = operand_bytes / len(op.inputs)
+        multiplicity: dict[str, int] = {}
+        for producer in op.producer_ids:
+            multiplicity[producer] = multiplicity.get(producer, 0) + 1
+        for producer, count in multiplicity.items():
+            graph.add_edge(producer, op.op_id, nbytes=share * count)
+    graph.validate(library)
+    return graph
+
+
+def fabric_task_fraction(graph: ABBFlowGraph) -> float:
+    """Fraction of tasks mapped to the programmable fabric."""
+    if not len(graph):
+        return 0.0
+    pf = sum(1 for task in graph.tasks if task.abb_type == PF_ABB_TYPE_NAME)
+    return pf / len(graph)

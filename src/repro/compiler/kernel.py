@@ -1,0 +1,92 @@
+"""Kernel intermediate representation.
+
+A kernel is the compute-intensive code region selected for acceleration:
+a DAG of vector operations.  Each op names its data producers (other ops)
+or reads streamed data from memory.  This is the compiler's input; the
+output is an :class:`~repro.abb.flowgraph.ABBFlowGraph`.
+"""
+
+from __future__ import annotations
+
+import typing
+from dataclasses import dataclass, field
+
+from repro.errors import ConfigError
+
+#: Input token meaning "streamed from shared memory".
+MEMORY_INPUT = "mem"
+
+
+@dataclass(frozen=True)
+class KernelOp:
+    """One vector operation in a kernel.
+
+    Attributes:
+        op_id: Unique id within the kernel.
+        opcode: Operation name (see the decomposition pattern table).
+        vector_length: Number of element-wise applications (maps to ABB
+            invocations).
+        inputs: Producer ``op_id``s, or :data:`MEMORY_INPUT` for streamed
+            operands.
+    """
+
+    op_id: str
+    opcode: str
+    vector_length: int
+    inputs: tuple = ()
+
+    def __post_init__(self) -> None:
+        if not self.op_id:
+            raise ConfigError("op id must be non-empty")
+        if not self.opcode:
+            raise ConfigError(f"op {self.op_id}: opcode must be non-empty")
+        if self.vector_length < 1:
+            raise ConfigError(f"op {self.op_id}: vector length must be >= 1")
+
+    @property
+    def producer_ids(self) -> list[str]:
+        """Input op ids, excluding memory inputs."""
+        return [i for i in self.inputs if i != MEMORY_INPUT]
+
+
+@dataclass
+class Kernel:
+    """A named DAG of kernel ops."""
+
+    name: str
+    ops: list[KernelOp] = field(default_factory=list)
+
+    def add_op(
+        self,
+        op_id: str,
+        opcode: str,
+        vector_length: int,
+        inputs: typing.Sequence[str] = (),
+    ) -> KernelOp:
+        """Append an op; inputs must reference earlier ops or ``"mem"``."""
+        if any(op.op_id == op_id for op in self.ops):
+            raise ConfigError(f"duplicate op id {op_id!r} in kernel {self.name!r}")
+        known = {op.op_id for op in self.ops}
+        for inp in inputs:
+            if inp != MEMORY_INPUT and inp not in known:
+                raise ConfigError(
+                    f"op {op_id!r} references unknown producer {inp!r} "
+                    f"(ops must be added in dependency order)"
+                )
+        op = KernelOp(op_id, opcode, vector_length, tuple(inputs))
+        self.ops.append(op)
+        return op
+
+    def op(self, op_id: str) -> KernelOp:
+        """Look up one op."""
+        for op in self.ops:
+            if op.op_id == op_id:
+                return op
+        raise ConfigError(f"unknown op {op_id!r} in kernel {self.name!r}")
+
+    def opcodes(self) -> set[str]:
+        """Distinct opcodes used by the kernel."""
+        return {op.opcode for op in self.ops}
+
+    def __len__(self) -> int:
+        return len(self.ops)

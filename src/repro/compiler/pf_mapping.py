@@ -1,0 +1,60 @@
+"""CAMEL programmable-fabric support.
+
+CAMEL [9] adds programmable fabric (PF) blocks to the CHARM platform so
+kernels whose operations fall outside the ABB vocabulary can still be
+composed.  The fabric pays the usual reconfigurable-logic tax relative to
+ASIC ABBs: longer latency, lower clock-equivalent throughput, and higher
+energy per operation.
+"""
+
+from __future__ import annotations
+
+from repro.abb.library import ABBLibrary
+from repro.abb.types import ABBType
+
+#: Type name used for fabric-mapped tasks in flow graphs.
+PF_ABB_TYPE_NAME = "pf"
+
+#: Fabric latency multiplier vs an equivalent ASIC ABB.
+PF_LATENCY_FACTOR = 3
+
+#: Fabric initiation-interval multiplier (throughput loss).
+PF_II_FACTOR = 2
+
+#: Fabric energy multiplier per invocation.
+PF_ENERGY_FACTOR = 5.0
+
+#: Fabric area multiplier (LUT overhead).
+PF_AREA_FACTOR = 8.0
+
+
+def make_pf_abb_type(reference: ABBType) -> ABBType:
+    """Build the PF pseudo-ABB type, derated from a reference ASIC block.
+
+    The reference is typically the polynomial block — the largest and
+    most general ABB — since the fabric is sized to emulate any single
+    ABB-class operation.
+    """
+    return ABBType(
+        name=PF_ABB_TYPE_NAME,
+        latency=reference.latency * PF_LATENCY_FACTOR,
+        initiation_interval=reference.initiation_interval * PF_II_FACTOR,
+        input_bytes=reference.input_bytes,
+        output_bytes=reference.output_bytes,
+        spm_banks_min=reference.spm_banks_min,
+        spm_bank_bytes=reference.spm_bank_bytes,
+        area_mm2=reference.area_mm2 * PF_AREA_FACTOR,
+        energy_per_invocation_nj=(
+            reference.energy_per_invocation_nj * PF_ENERGY_FACTOR
+        ),
+        static_power_mw=reference.static_power_mw * PF_AREA_FACTOR,
+    )
+
+
+def register_fabric(library: ABBLibrary, reference_name: str = "poly") -> ABBType:
+    """Add the PF pseudo-type to a library (idempotent); returns it."""
+    if PF_ABB_TYPE_NAME in library:
+        return library.get(PF_ABB_TYPE_NAME)
+    pf = make_pf_abb_type(library.get(reference_name))
+    library.register(pf)
+    return pf

@@ -1,0 +1,61 @@
+"""Island-selection policies for the ABC.
+
+A policy orders candidate islands for a new task.  The ABC tries islands
+in the returned order and allocates the first usable slot.  The paper's
+ABC does locality-aware placement with load balancing; the alternatives
+exist for the ablation benches.
+"""
+
+from __future__ import annotations
+
+import typing
+
+if typing.TYPE_CHECKING:  # pragma: no cover - import cycle guard
+    from repro.island.island import Island
+
+#: A policy maps (islands, preferred_island_id, request_serial) to an
+#: ordered list of island indices to try.
+AllocationPolicy = typing.Callable[
+    [typing.Sequence["Island"], typing.Optional[int], int], typing.List[int]
+]
+
+
+def locality_then_load_balance(
+    islands: typing.Sequence["Island"],
+    preferred: typing.Optional[int],
+    serial: int,
+) -> list[int]:
+    """The paper's policy: producer-locality first, then least-busy.
+
+    The preferred island (where most of the task's chained input already
+    resides) is tried first; the rest are ordered by current busy
+    fraction so work spreads across islands.
+    """
+    order = sorted(
+        range(len(islands)),
+        key=lambda i: (islands[i].busy_fraction(), i),
+    )
+    if preferred is not None and 0 <= preferred < len(islands):
+        order.remove(preferred)
+        order.insert(0, preferred)
+    return order
+
+
+def first_fit(
+    islands: typing.Sequence["Island"],
+    preferred: typing.Optional[int],
+    serial: int,
+) -> list[int]:
+    """No load balancing: always scan islands in index order."""
+    return list(range(len(islands)))
+
+
+def round_robin(
+    islands: typing.Sequence["Island"],
+    preferred: typing.Optional[int],
+    serial: int,
+) -> list[int]:
+    """Rotate the starting island with each request; ignores locality."""
+    n = len(islands)
+    start = serial % n
+    return [(start + i) % n for i in range(n)]

@@ -1,0 +1,164 @@
+"""The Accelerator Block Composer (ABC).
+
+CHARM extends the GAM with an ABC that consumes compiler-produced ABB
+flow graphs at runtime, dynamically allocating free ABBs across islands
+to compose virtual accelerators, and load-balancing work over the
+available compute resources [8].
+
+The ABC here is the allocation authority of the simulated system: every
+task asks it for an ABB of the right type and receives a :class:`Grant`
+naming ``(island, slot)``, possibly after waiting FIFO for one to free
+up.
+"""
+
+from __future__ import annotations
+
+import collections
+import typing
+from dataclasses import dataclass, field
+
+from repro.core.allocation import AllocationPolicy, locality_then_load_balance
+from repro.engine import Event, Simulator
+from repro.engine.stats import Histogram
+from repro.errors import AllocationError, ConfigError
+from repro.island.island import Island
+
+
+@dataclass(frozen=True)
+class Grant:
+    """An allocated ABB slot, returned by :meth:`ABC.request`.
+
+    Attributes:
+        island_index: Which island the block sits on.
+        slot: Slot index within the island.
+        type_name: ABB type of the slot.
+    """
+
+    island_index: int
+    slot: int
+    type_name: str
+    _token: object = field(repr=False, default=None)
+
+
+@dataclass
+class _Waiter:
+    """A queued allocation request."""
+
+    event: Event
+    type_name: str
+    preferred: typing.Optional[int]
+    requested_at: float
+
+
+class AcceleratorBlockComposer:
+    """Allocates ABB slots across islands for flow-graph tasks."""
+
+    def __init__(
+        self,
+        sim: Simulator,
+        islands: typing.Sequence[Island],
+        policy: AllocationPolicy = locality_then_load_balance,
+    ) -> None:
+        if not islands:
+            raise ConfigError("ABC needs at least one island")
+        self.sim = sim
+        self.islands = list(islands)
+        self.policy = policy
+        self._waiters: collections.deque[_Waiter] = collections.deque()
+        self._serial = 0
+        self.wait_cycles = Histogram("abc.wait")
+        self.total_grants = 0
+        self.total_queued = 0
+
+    # ------------------------------------------------------------ internals
+    def _type_exists(self, type_name: str) -> bool:
+        return any(island.slots_of_type(type_name) for island in self.islands)
+
+    def _try_allocate(
+        self, type_name: str, preferred: typing.Optional[int]
+    ) -> typing.Optional[Grant]:
+        order = self.policy(self.islands, preferred, self._serial)
+        self._serial += 1
+        for island_idx in order:
+            free = self.islands[island_idx].free_slots(type_name)
+            if free:
+                slot = free[0]
+                token = object()
+                self.islands[island_idx].allocate(slot, token)
+                return Grant(island_idx, slot, type_name, token)
+        return None
+
+    # --------------------------------------------------------------- public
+    def request(
+        self,
+        type_name: str,
+        preferred_island: typing.Optional[int] = None,
+    ) -> Event:
+        """Request an ABB of ``type_name``.
+
+        The returned event fires with a :class:`Grant` once a block has
+        been allocated; the caller must eventually :meth:`release` it.
+        """
+        if not self._type_exists(type_name):
+            raise AllocationError(
+                f"no island carries ABB type {type_name!r}; "
+                f"the platform cannot compose this graph"
+            )
+        event = Event(self.sim)
+        grant = self._try_allocate(type_name, preferred_island)
+        if grant is not None:
+            self.total_grants += 1
+            self.wait_cycles.record(0.0)
+            event.succeed(grant)
+        else:
+            self.total_queued += 1
+            self._waiters.append(
+                _Waiter(event, type_name, preferred_island, self.sim.now)
+            )
+        return event
+
+    def release(self, grant: Grant, invocations: int) -> None:
+        """Return a granted slot; retries queued waiters in FIFO order."""
+        if not 0 <= grant.island_index < len(self.islands):
+            raise ConfigError(f"island index {grant.island_index} out of range")
+        self.islands[grant.island_index].release(
+            grant.slot, grant._token, invocations
+        )
+        self._drain_waiters()
+
+    def _drain_waiters(self) -> None:
+        # Retry every waiter in FIFO order until a full pass grants
+        # nothing (a release can free neighbours too, under SPM sharing,
+        # so one release may unblock several waiters).
+        progress = True
+        while progress and self._waiters:
+            progress = False
+            remaining: collections.deque[_Waiter] = collections.deque()
+            while self._waiters:
+                waiter = self._waiters.popleft()
+                grant = self._try_allocate(waiter.type_name, waiter.preferred)
+                if grant is None:
+                    remaining.append(waiter)
+                else:
+                    progress = True
+                    self.total_grants += 1
+                    self.wait_cycles.record(self.sim.now - waiter.requested_at)
+                    waiter.event.succeed(grant)
+            self._waiters = remaining
+
+    # -------------------------------------------------------------- queries
+    def queue_length(self) -> int:
+        """Requests currently waiting for any type."""
+        return len(self._waiters)
+
+    def free_count(self, type_name: str) -> int:
+        """Usable slots of a type across all islands right now."""
+        return sum(len(i.free_slots(type_name)) for i in self.islands)
+
+    def estimate_wait(self, type_name: str) -> float:
+        """GAM-style wait feedback for one ABB type."""
+        if self.free_count(type_name) > 0:
+            return 0.0
+        ahead = sum(1 for w in self._waiters if w.type_name == type_name)
+        mean_wait = self.wait_cycles.mean or 1.0
+        return (ahead + 1) * mean_wait

@@ -1,0 +1,154 @@
+"""Tile scheduler: executes one flow-graph instance on a system.
+
+A *tile* is one instance of a benchmark's ABB flow graph (one unit of
+input data).  For every task the scheduler:
+
+1. waits for all chained producers to finish,
+2. asks the ABC for an ABB of the right type — preferring the island
+   where most of the task's chained input already resides,
+3. pulls operands in parallel: memory inputs via a memory controller and
+   the NoC, chained inputs from producer islands (island-local chaining
+   uses the SPM<->DMA network directly; cross-island chaining crosses the
+   NoC),
+4. streams the invocations through the ABB pipeline,
+5. writes sink outputs back to memory, then releases the block.
+
+The scheduler is deliberately work-conserving and deadlock-free: blocks
+are held only from allocation to writeback, and chained data is parked at
+the producer island until the consumer is placed.
+"""
+
+from __future__ import annotations
+
+import typing
+
+from repro.abb.flowgraph import ABBFlowGraph
+from repro.core.composer import Grant
+from repro.engine import AllOf, Event
+from repro.errors import SimulationError
+
+if typing.TYPE_CHECKING:  # pragma: no cover - import cycle guard
+    from repro.sim.system import SystemModel
+
+
+class TileScheduler:
+    """Runs one flow-graph instance to completion."""
+
+    def __init__(self, system: "SystemModel", graph: ABBFlowGraph, tile_id: int) -> None:
+        self.system = system
+        self.graph = graph
+        self.tile_id = tile_id
+        self.locations: dict[str, tuple[int, int]] = {}
+        self._done: dict[str, Event] = {}
+        self._task_index = {t.task_id: i for i, t in enumerate(graph.tasks)}
+
+    # ---------------------------------------------------------------- run
+    def run(self) -> Event:
+        """Start every task process; returns an event firing at tile end."""
+        sim = self.system.sim
+        order = self.graph.topological_order()
+        for task_id in order:
+            self._done[task_id] = Event(sim)
+        for task_id in order:
+            sim.process(self._run_task(task_id))
+        return AllOf(sim, [self._done[t] for t in order])
+
+    # ------------------------------------------------------------- helpers
+    def _stream_id(self, task_id: str) -> int:
+        """Deterministic memory-interleave stream for a task."""
+        return self.tile_id * 131 + self._task_index[task_id]
+
+    def _preferred_island(self, task_id: str) -> typing.Optional[int]:
+        """Island holding the largest share of the task's chained input."""
+        library = self.system.library
+        bytes_by_island: dict[int, float] = {}
+        for producer in self.graph.predecessors(task_id):
+            if producer not in self.locations:
+                raise SimulationError(
+                    f"producer {producer!r} finished without a recorded location"
+                )
+            island_idx, _slot = self.locations[producer]
+            nbytes = self.graph.edge_bytes(
+                self.graph.edge(producer, task_id), library
+            )
+            bytes_by_island[island_idx] = (
+                bytes_by_island.get(island_idx, 0.0) + nbytes
+            )
+        if not bytes_by_island:
+            return None
+        return max(sorted(bytes_by_island), key=lambda i: bytes_by_island[i])
+
+    def _trace(self, start: float, kind: str, actor: str, label: str) -> None:
+        tracer = getattr(self.system, "tracer", None)
+        if tracer is not None:
+            tracer.record(start, self.system.sim.now, actor, kind, label)
+
+    # --------------------------------------------------------- task process
+    def _run_task(self, task_id: str):
+        system = self.system
+        graph = self.graph
+        library = system.library
+        task = graph.task(task_id)
+        producers = graph.predecessors(task_id)
+        tag = f"t{self.tile_id}.{task_id}"
+
+        # 1. Wait for chained producers.
+        if producers:
+            yield AllOf(system.sim, [self._done[p] for p in producers])
+
+        # 2. Allocate an ABB (may queue inside the ABC).
+        requested_at = system.sim.now
+        grant: Grant = yield system.abc.request(
+            task.abb_type, preferred_island=self._preferred_island(task_id)
+        )
+        self.locations[task_id] = (grant.island_index, grant.slot)
+        island = system.islands[grant.island_index]
+        actor = f"island{grant.island_index}.slot{grant.slot}"
+        if system.sim.now > requested_at:
+            self._trace(requested_at, "alloc_wait", actor, tag)
+
+        # 3. Gather operands in parallel.
+        input_events = []
+        mem_bytes = graph.memory_input_bytes(task_id, library)
+        if mem_bytes > 0:
+            input_events.append(
+                system.memory_to_island(
+                    grant.island_index,
+                    grant.slot,
+                    mem_bytes,
+                    self._stream_id(task_id),
+                )
+            )
+        for producer in producers:
+            src_island, src_slot = self.locations[producer]
+            nbytes = graph.edge_bytes(graph.edge(producer, task_id), library)
+            if src_island == grant.island_index:
+                input_events.append(
+                    island.chain_local(src_slot, grant.slot, nbytes)
+                )
+            else:
+                input_events.append(
+                    system.island_to_island(
+                        src_island, src_slot, grant.island_index, grant.slot, nbytes
+                    )
+                )
+        if input_events:
+            gather_start = system.sim.now
+            yield AllOf(system.sim, input_events)
+            self._trace(gather_start, "gather", actor, tag)
+
+        # 4. Compute.
+        compute_start = system.sim.now
+        yield island.compute(grant.slot, task.invocations)
+        self._trace(compute_start, "compute", actor, tag)
+
+        # 5. Write back sink outputs, then release the block.
+        if not graph.successors(task_id):
+            out_bytes = graph.task_output_bytes(task_id, library)
+            writeback_start = system.sim.now
+            yield system.island_to_memory(
+                grant.island_index, grant.slot, out_bytes, self._stream_id(task_id)
+            )
+            self._trace(writeback_start, "writeback", actor, tag)
+        system.abc.release(grant, task.invocations)
+        self._done[task_id].succeed(task_id)

@@ -1,0 +1,29 @@
+"""Design-space exploration harness.
+
+Defines the paper's design space (Section 3.2), sweeps it with the
+simulator, and formats results as the series behind Figures 6-10.
+"""
+
+from repro.dse.space import DesignSpace, design_points
+from repro.dse.explorer import Explorer, SweepRow
+from repro.dse.report import (
+    fig6_series,
+    fig7_table,
+    fig8_table,
+    fig9_table,
+    fig10_table,
+    format_table,
+)
+
+__all__ = [
+    "DesignSpace",
+    "Explorer",
+    "SweepRow",
+    "design_points",
+    "fig6_series",
+    "fig7_table",
+    "fig8_table",
+    "fig9_table",
+    "fig10_table",
+    "format_table",
+]

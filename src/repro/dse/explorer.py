@@ -1,0 +1,113 @@
+"""Sweep runner with result caching and Pareto filtering."""
+
+from __future__ import annotations
+
+import typing
+from dataclasses import dataclass
+
+from repro.dse.space import DesignSpace, design_points
+from repro.errors import ConfigError
+from repro.sim.results import SimResult
+from repro.sim.run import run_workload
+from repro.sim.system import SystemConfig
+from repro.workloads.base import Workload
+
+
+@dataclass(frozen=True)
+class SweepRow:
+    """One (design point, workload) observation."""
+
+    config: SystemConfig
+    workload: str
+    result: SimResult
+
+
+class Explorer:
+    """Runs workloads across a design space, caching by design point."""
+
+    def __init__(self, workloads: typing.Sequence[Workload]) -> None:
+        if not workloads:
+            raise ConfigError("explorer needs at least one workload")
+        names = [w.name for w in workloads]
+        if len(set(names)) != len(names):
+            raise ConfigError("duplicate workload names in sweep")
+        self.workloads = list(workloads)
+        self.rows: list[SweepRow] = []
+        self._cache: dict[tuple, SimResult] = {}
+
+    @staticmethod
+    def _key(config: SystemConfig, workload: Workload) -> tuple:
+        return (
+            config.n_islands,
+            config.network.kind,
+            config.network.link_width_bytes,
+            config.network.rings,
+            config.spm_porting,
+            config.spm_sharing,
+            workload.name,
+            workload.tiles,
+        )
+
+    def run_point(self, config: SystemConfig) -> list[SweepRow]:
+        """Run every workload at one design point (cached)."""
+        point_rows = []
+        for workload in self.workloads:
+            key = self._key(config, workload)
+            if key not in self._cache:
+                self._cache[key] = run_workload(config, workload)
+            row = SweepRow(config, workload.name, self._cache[key])
+            point_rows.append(row)
+            self.rows.append(row)
+        return point_rows
+
+    def sweep(self, space: DesignSpace) -> list[SweepRow]:
+        """Run the whole space; returns all rows gathered."""
+        for config in design_points(space):
+            self.run_point(config)
+        return list(self.rows)
+
+    # ------------------------------------------------------------ analysis
+    def results_for(self, workload_name: str) -> list[SweepRow]:
+        """All observations of one workload."""
+        return [r for r in self.rows if r.workload == workload_name]
+
+    def best_by(
+        self,
+        metric: typing.Callable[[SimResult], float],
+        workload_name: typing.Optional[str] = None,
+    ) -> SweepRow:
+        """Row maximizing a metric (optionally for one workload)."""
+        rows = (
+            self.results_for(workload_name) if workload_name else list(self.rows)
+        )
+        if not rows:
+            raise ConfigError("no sweep rows gathered yet")
+        return max(rows, key=lambda r: metric(r.result))
+
+    def pareto_front(
+        self,
+        metrics: typing.Sequence[typing.Callable[[SimResult], float]],
+        workload_name: typing.Optional[str] = None,
+    ) -> list[SweepRow]:
+        """Rows not dominated on all the given maximize-metrics."""
+        rows = (
+            self.results_for(workload_name) if workload_name else list(self.rows)
+        )
+        front = []
+        for candidate in rows:
+            cand_vals = [m(candidate.result) for m in metrics]
+            dominated = any(
+                all(
+                    m(other.result) >= v
+                    for m, v in zip(metrics, cand_vals)
+                )
+                and any(
+                    m(other.result) > v
+                    for m, v in zip(metrics, cand_vals)
+                )
+                for other in rows
+                if other is not candidate
+            )
+            if not dominated:
+                front.append(candidate)
+        return front

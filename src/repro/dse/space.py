@@ -1,0 +1,64 @@
+"""Design-space definition (paper Section 3.2).
+
+Axes: number of islands (ABBs fixed system-wide at 120), SPM<->DMA
+network topology (proxy/chaining crossbar, 1-3 rings x 16/32-byte links),
+SPM porting (exact vs doubled), SPM sharing (on/off).
+"""
+
+from __future__ import annotations
+
+import itertools
+import typing
+from dataclasses import dataclass
+
+from repro.errors import ConfigError
+from repro.island import NetworkKind, SpmDmaNetworkConfig, SpmPorting
+from repro.sim.system import SystemConfig
+
+
+@dataclass(frozen=True)
+class DesignSpace:
+    """The cartesian design space to sweep.
+
+    Defaults cover the full space the paper explores; narrow any axis to
+    focus a sweep.
+    """
+
+    island_counts: tuple = (3, 6, 12, 24)
+    networks: tuple = (
+        SpmDmaNetworkConfig(kind=NetworkKind.PROXY_CROSSBAR),
+        SpmDmaNetworkConfig(kind=NetworkKind.RING, link_width_bytes=16, rings=1),
+        SpmDmaNetworkConfig(kind=NetworkKind.RING, link_width_bytes=32, rings=1),
+        SpmDmaNetworkConfig(kind=NetworkKind.RING, link_width_bytes=32, rings=2),
+        SpmDmaNetworkConfig(kind=NetworkKind.RING, link_width_bytes=32, rings=3),
+    )
+    portings: tuple = (SpmPorting.EXACT,)
+    sharings: tuple = (False,)
+
+    def __post_init__(self) -> None:
+        if not self.island_counts or not self.networks:
+            raise ConfigError("design space must have islands and networks")
+        if not self.portings or not self.sharings:
+            raise ConfigError("design space must have porting/sharing options")
+
+    def size(self) -> int:
+        """Number of design points."""
+        return (
+            len(self.island_counts)
+            * len(self.networks)
+            * len(self.portings)
+            * len(self.sharings)
+        )
+
+
+def design_points(space: DesignSpace) -> typing.Iterator[SystemConfig]:
+    """Yield a SystemConfig per point, in deterministic sweep order."""
+    for n_islands, network, porting, sharing in itertools.product(
+        space.island_counts, space.networks, space.portings, space.sharings
+    ):
+        yield SystemConfig(
+            n_islands=n_islands,
+            network=network,
+            spm_porting=porting,
+            spm_sharing=sharing,
+        )

@@ -1,0 +1,67 @@
+"""Events: the unit of synchronization in the simulation kernel."""
+
+from __future__ import annotations
+
+import typing
+
+from repro.errors import SimulationError
+
+if typing.TYPE_CHECKING:  # pragma: no cover - import cycle guard
+    from repro.engine.simulator import Simulator
+
+
+class Event:
+    """A one-shot occurrence that processes can wait on.
+
+    An event starts *pending*; calling :meth:`succeed` schedules it to
+    *trigger* at the current simulation time, at which point all registered
+    callbacks run (in registration order) and late callbacks run
+    immediately.
+    """
+
+    def __init__(self, sim: "Simulator") -> None:
+        self.sim = sim
+        self.value: object = None
+        self._triggered = False
+        self._scheduled = False
+        self._callbacks: list[typing.Callable[[Event], None]] = []
+
+    @property
+    def triggered(self) -> bool:
+        """Whether the event has already fired."""
+        return self._triggered
+
+    def succeed(self, value: object = None) -> "Event":
+        """Schedule this event to fire now with an optional payload."""
+        if self._triggered or self._scheduled:
+            raise SimulationError("event already triggered")
+        self._scheduled = True
+        self.value = value
+        self.sim._schedule(self.sim.now, self._fire)
+        return self
+
+    def _fire(self) -> None:
+        self._triggered = True
+        callbacks, self._callbacks = self._callbacks, []
+        for callback in callbacks:
+            callback(self)
+
+    def add_callback(self, callback: typing.Callable[["Event"], None]) -> None:
+        """Run ``callback(event)`` when the event fires (or now if it has)."""
+        if self._triggered:
+            callback(self)
+        else:
+            self._callbacks.append(callback)
+
+
+class Timeout(Event):
+    """An event that fires a fixed delay after creation."""
+
+    def __init__(self, sim: "Simulator", delay: float, value: object = None) -> None:
+        if delay < 0:
+            raise SimulationError(f"negative timeout delay: {delay}")
+        super().__init__(sim)
+        self.delay = delay
+        self.value = value
+        self._scheduled = True
+        sim._schedule(sim.now + delay, self._fire)

@@ -1,0 +1,49 @@
+"""Generator-based processes for the simulation kernel.
+
+A process body is a Python generator that ``yield``s :class:`Event`
+objects.  The process suspends until the yielded event fires, then resumes
+with the event's ``value`` as the result of the ``yield`` expression.  The
+process itself is an event that fires (with the generator's return value)
+when the body completes, so processes can wait on each other.
+"""
+
+from __future__ import annotations
+
+import typing
+
+from repro.engine.event import Event
+from repro.errors import SimulationError
+
+if typing.TYPE_CHECKING:  # pragma: no cover - import cycle guard
+    from repro.engine.simulator import Simulator
+
+
+class Process(Event):
+    """A running coroutine inside the simulation."""
+
+    def __init__(self, sim: "Simulator", generator: typing.Generator) -> None:
+        super().__init__(sim)
+        if not hasattr(generator, "send"):
+            raise SimulationError(
+                f"process body must be a generator, got {type(generator).__name__}"
+            )
+        self._generator = generator
+        sim._processes += 1
+        # Kick the body off at the current time (not synchronously) so that
+        # spawning order does not depend on the caller's position in a step.
+        sim._schedule(sim.now, lambda: self._resume(None))
+
+    def _resume(self, send_value: object) -> None:
+        try:
+            target = self._generator.send(send_value)
+        except StopIteration as stop:
+            self.sim._processes -= 1
+            if not self._triggered and not self._scheduled:
+                self.succeed(stop.value)
+            return
+        if not isinstance(target, Event):
+            self.sim._processes -= 1
+            raise SimulationError(
+                f"process yielded {type(target).__name__}; processes must yield Events"
+            )
+        target.add_callback(lambda event: self._resume(event.value))

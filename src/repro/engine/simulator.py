@@ -1,0 +1,66 @@
+"""The simulator core: a time-ordered callback queue and a clock."""
+
+from __future__ import annotations
+
+import heapq
+import typing
+
+from repro.engine.event import Event, Timeout
+from repro.errors import SimulationError
+
+
+class Simulator:
+    """Owns simulation time and the pending-event heap.
+
+    Time is a float measured in cycles of the accelerator/uncore clock.
+    Entries at equal times execute in insertion order (a monotonically
+    increasing sequence number breaks ties), which makes runs fully
+    deterministic.
+    """
+
+    def __init__(self) -> None:
+        self.now: float = 0.0
+        self._heap: list[tuple[float, int, typing.Callable[[], None]]] = []
+        self._seq = 0
+        self._processes: int = 0  # live processes, for deadlock detection
+
+    def _schedule(self, time: float, callback: typing.Callable[[], None]) -> None:
+        if time < self.now:
+            raise SimulationError(
+                f"cannot schedule in the past (now={self.now}, requested={time})"
+            )
+        heapq.heappush(self._heap, (time, self._seq, callback))
+        self._seq += 1
+
+    def event(self) -> Event:
+        """Create a new pending event bound to this simulator."""
+        return Event(self)
+
+    def timeout(self, delay: float, value: object = None) -> Timeout:
+        """Create an event that fires ``delay`` cycles from now."""
+        return Timeout(self, delay, value)
+
+    def process(self, generator: typing.Generator) -> "Process":
+        """Spawn a new process running ``generator``."""
+        from repro.engine.process import Process
+
+        return Process(self, generator)
+
+    def run(self, until: typing.Optional[float] = None) -> float:
+        """Execute events until the queue drains or ``until`` is reached.
+
+        Returns the final simulation time.
+        """
+        while self._heap:
+            time, _seq, callback = self._heap[0]
+            if until is not None and time > until:
+                self.now = until
+                return self.now
+            heapq.heappop(self._heap)
+            self.now = time
+            callback()
+        return self.now
+
+    def peek(self) -> typing.Optional[float]:
+        """Time of the next pending entry, or None if the queue is empty."""
+        return self._heap[0][0] if self._heap else None

@@ -1,0 +1,133 @@
+"""Lightweight statistics gathered during simulation runs."""
+
+from __future__ import annotations
+
+import math
+
+
+class Counter:
+    """A named monotonically increasing tally."""
+
+    def __init__(self, name: str = "") -> None:
+        self.name = name
+        self.value: float = 0.0
+
+    def add(self, amount: float = 1.0) -> None:
+        """Increase the tally by ``amount``."""
+        self.value += amount
+
+    def __repr__(self) -> str:
+        return f"Counter({self.name!r}, {self.value})"
+
+
+class Histogram:
+    """Streaming summary statistics (count/mean/min/max/stddev)."""
+
+    def __init__(self, name: str = "") -> None:
+        self.name = name
+        self.count = 0
+        self._mean = 0.0
+        self._m2 = 0.0
+        self.min = math.inf
+        self.max = -math.inf
+
+    def record(self, value: float) -> None:
+        """Add one observation (Welford update)."""
+        self.count += 1
+        delta = value - self._mean
+        self._mean += delta / self.count
+        self._m2 += delta * (value - self._mean)
+        self.min = min(self.min, value)
+        self.max = max(self.max, value)
+
+    @property
+    def mean(self) -> float:
+        """Arithmetic mean of observations (0 if empty)."""
+        return self._mean if self.count else 0.0
+
+    @property
+    def variance(self) -> float:
+        """Population variance of observations (0 if fewer than 2)."""
+        return self._m2 / self.count if self.count > 1 else 0.0
+
+    @property
+    def stddev(self) -> float:
+        """Population standard deviation."""
+        return math.sqrt(self.variance)
+
+
+class UtilizationTracker:
+    """Time-weighted average of a level (e.g. busy ABBs) over a run.
+
+    Call ``set_level`` whenever the level changes; query ``average`` at the
+    end with the final time.
+    """
+
+    def __init__(self, capacity: float, name: str = "") -> None:
+        self.name = name
+        self.capacity = capacity
+        self._level = 0.0
+        self._last_time = 0.0
+        self._area = 0.0  # integral of level over time
+        self.peak = 0.0
+
+    def set_level(self, level: float, now: float) -> None:
+        """Record that the level changed to ``level`` at time ``now``."""
+        self._area += self._level * (now - self._last_time)
+        self._level = level
+        self._last_time = now
+        self.peak = max(self.peak, level)
+
+    def adjust(self, delta: float, now: float) -> None:
+        """Shift the level by ``delta`` at time ``now``."""
+        self.set_level(self._level + delta, now)
+
+    def average(self, end_time: float) -> float:
+        """Time-weighted mean level from 0 to ``end_time``."""
+        if end_time <= 0:
+            return 0.0
+        area = self._area + self._level * (end_time - self._last_time)
+        return area / end_time
+
+    def average_utilization(self, end_time: float) -> float:
+        """Average level as a fraction of capacity."""
+        if self.capacity <= 0:
+            return 0.0
+        return self.average(end_time) / self.capacity
+
+    @property
+    def peak_utilization(self) -> float:
+        """Peak level as a fraction of capacity."""
+        if self.capacity <= 0:
+            return 0.0
+        return self.peak / self.capacity
+
+
+class StatsRegistry:
+    """A namespace of named counters/histograms for one simulation run."""
+
+    def __init__(self) -> None:
+        self.counters: dict[str, Counter] = {}
+        self.histograms: dict[str, Histogram] = {}
+
+    def counter(self, name: str) -> Counter:
+        """Get or create a counter."""
+        if name not in self.counters:
+            self.counters[name] = Counter(name)
+        return self.counters[name]
+
+    def histogram(self, name: str) -> Histogram:
+        """Get or create a histogram."""
+        if name not in self.histograms:
+            self.histograms[name] = Histogram(name)
+        return self.histograms[name]
+
+    def snapshot(self) -> dict[str, float]:
+        """Flatten all counters (and histogram means) into one dict."""
+        out: dict[str, float] = {}
+        for name, counter in self.counters.items():
+            out[name] = counter.value
+        for name, histogram in self.histograms.items():
+            out[f"{name}.mean"] = histogram.mean
+            out[f"{name}.count"] = float(histogram.count)
+        return out

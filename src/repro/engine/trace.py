@@ -1,0 +1,139 @@
+"""Structured execution tracing.
+
+A :class:`Tracer` collects timestamped spans — ABB compute, DMA
+transfers, NoC crossings, allocation waits — so a run can be inspected
+after the fact: per-actor busy summaries, bottleneck ranking, and a
+text Gantt chart for small runs.  Tracing is opt-in (pass a tracer to
+:class:`~repro.sim.system.SystemModel`) and has no effect on timing.
+"""
+
+from __future__ import annotations
+
+import typing
+from dataclasses import dataclass, field
+
+from repro.errors import ConfigError
+
+
+@dataclass(frozen=True)
+class TraceRecord:
+    """One traced span.
+
+    Attributes:
+        start: Span start time (cycles).
+        end: Span end time (cycles).
+        actor: The resource or agent (e.g. ``"island0.slot3"``).
+        kind: Span category (``"compute"``, ``"ingress"``, ``"chain"``,
+            ``"egress"``, ``"alloc_wait"``, ...).
+        label: Free-form detail (task id, byte count, ...).
+    """
+
+    start: float
+    end: float
+    actor: str
+    kind: str
+    label: str = ""
+
+    def __post_init__(self) -> None:
+        if self.end < self.start:
+            raise ConfigError(
+                f"span ends before it starts ({self.start} > {self.end})"
+            )
+
+    @property
+    def duration(self) -> float:
+        """Span length in cycles."""
+        return self.end - self.start
+
+
+@dataclass
+class Tracer:
+    """Collects trace records during a simulation run."""
+
+    records: list = field(default_factory=list)
+
+    def record(
+        self, start: float, end: float, actor: str, kind: str, label: str = ""
+    ) -> TraceRecord:
+        """Append one span."""
+        rec = TraceRecord(start, end, actor, kind, label)
+        self.records.append(rec)
+        return rec
+
+    # ---------------------------------------------------------------- query
+    def by_actor(self, actor: str) -> list:
+        """All spans of one actor, in record order."""
+        return [r for r in self.records if r.actor == actor]
+
+    def by_kind(self, kind: str) -> list:
+        """All spans of one kind."""
+        return [r for r in self.records if r.kind == kind]
+
+    def actors(self) -> list:
+        """Distinct actors, in first-seen order."""
+        seen: dict[str, None] = {}
+        for r in self.records:
+            seen.setdefault(r.actor, None)
+        return list(seen)
+
+    def end_time(self) -> float:
+        """Latest span end (0 when empty)."""
+        return max((r.end for r in self.records), default=0.0)
+
+    # -------------------------------------------------------------- summary
+    def busy_cycles(self) -> dict[str, float]:
+        """Total span duration per actor (overlaps counted twice)."""
+        out: dict[str, float] = {}
+        for r in self.records:
+            out[r.actor] = out.get(r.actor, 0.0) + r.duration
+        return out
+
+    def kind_cycles(self) -> dict[str, float]:
+        """Total span duration per kind."""
+        out: dict[str, float] = {}
+        for r in self.records:
+            out[r.kind] = out.get(r.kind, 0.0) + r.duration
+        return out
+
+    def hotspots(self, top: int = 5) -> list:
+        """The ``top`` busiest actors as (actor, cycles) pairs."""
+        busy = self.busy_cycles()
+        return sorted(busy.items(), key=lambda kv: -kv[1])[:top]
+
+    # ---------------------------------------------------------------- gantt
+    def gantt(
+        self,
+        width: int = 72,
+        actors: typing.Optional[typing.Sequence[str]] = None,
+        kind_symbols: typing.Optional[typing.Mapping[str, str]] = None,
+    ) -> str:
+        """Render a text Gantt chart of the trace.
+
+        Each actor gets one row of ``width`` character cells spanning
+        [0, end_time]; a cell shows the symbol of the span kind covering
+        it ('#' by default, '.' when idle).
+        """
+        if width < 10:
+            raise ConfigError("gantt width must be >= 10")
+        end = self.end_time()
+        if end <= 0:
+            return "(empty trace)"
+        symbols = dict(kind_symbols or {})
+        rows = []
+        chosen = list(actors) if actors is not None else self.actors()
+        label_width = max((len(a) for a in chosen), default=0) + 1
+        scale = width / end
+        for actor in chosen:
+            cells = ["."] * width
+            for rec in self.by_actor(actor):
+                lo = min(width - 1, int(rec.start * scale))
+                hi = min(width, max(lo + 1, int(rec.end * scale)))
+                symbol = symbols.get(rec.kind, "#")
+                for i in range(lo, hi):
+                    cells[i] = symbol
+            rows.append(f"{actor:<{label_width}}|{''.join(cells)}|")
+        header = f"{'':<{label_width}} 0{' ' * (width - len(str(int(end))) - 1)}{int(end)}"
+        return "\n".join([header] + rows)
+
+    def __len__(self) -> int:
+        return len(self.records)

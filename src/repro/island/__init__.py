@@ -1,0 +1,38 @@
+"""ABB island microarchitecture.
+
+An island (paper Section 3.1) bundles a set of ABBs, per-ABB SPM bank
+groups, a DMA engine, a pair of internal networks (ABB<->SPM and
+SPM<->DMA) and one NoC interface.  This package provides the three
+SPM<->DMA network designs evaluated in the paper (proxy crossbar,
+chaining-optimized crossbar, k-ring), the SPM porting/sharing options, and
+the island assembly with its area/energy breakdown.
+"""
+
+from repro.island.config import (
+    IslandConfig,
+    NetworkKind,
+    SpmDmaNetworkConfig,
+    SpmPorting,
+)
+from repro.island.spm import SPMGroup
+from repro.island.networks import (
+    ChainingCrossbarNetwork,
+    ProxyCrossbarNetwork,
+    RingNetwork,
+    SpmDmaNetwork,
+    build_network,
+)
+from repro.island.island import Island
+
+__all__ = [
+    "ChainingCrossbarNetwork",
+    "Island",
+    "IslandConfig",
+    "NetworkKind",
+    "ProxyCrossbarNetwork",
+    "RingNetwork",
+    "SpmDmaNetwork",
+    "SpmDmaNetworkConfig",
+    "SpmPorting",
+    "build_network",
+]

@@ -1,0 +1,8 @@
+"""DRAM device energy constants.
+
+Charged per byte moved through a memory controller; typical DDR3-era
+access energy is tens of pJ/byte including I/O.
+"""
+
+#: DRAM access energy including I/O, pJ per byte.
+DRAM_ENERGY_PJ_PER_BYTE = 50.0

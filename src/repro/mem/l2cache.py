@@ -1,0 +1,89 @@
+"""Shared L2 cache banks.
+
+The accelerator data path streams through SPM and DMA, so the L2 mostly
+serves cores (and the CMP baseline).  The model is a banked shared cache
+with a deterministic hit-rate model: accesses hit with probability
+``hit_rate`` (applied fluidly — a request for N bytes is split into hit
+and miss fractions), hits are served at bank latency/bandwidth, misses go
+to the memory system.
+"""
+
+from __future__ import annotations
+
+import typing
+
+from repro.engine import AllOf, BandwidthServer, Event, Simulator
+from repro.errors import ConfigError
+from repro.mem.controller import MemorySystem
+from repro.power.aggregate import EnergyAccount
+
+#: L2 bank access latency, cycles.
+L2_HIT_LATENCY = 20.0
+
+#: L2 bank bandwidth, bytes/cycle.
+L2_BANK_BYTES_PER_CYCLE = 32.0
+
+#: L2 dynamic energy, pJ per byte.
+L2_ENERGY_PJ_PER_BYTE = 1.5
+
+
+class L2Cache:
+    """A banked shared L2 with a fluid hit-rate model."""
+
+    def __init__(
+        self,
+        sim: Simulator,
+        memory: MemorySystem,
+        n_banks: int = 8,
+        capacity_bytes: int = 6 * 1024 * 1024,  # Fig. 1: 6 MB L2
+        hit_rate: float = 0.7,
+        energy: typing.Optional[EnergyAccount] = None,
+    ) -> None:
+        if n_banks < 1:
+            raise ConfigError("L2 needs at least one bank")
+        if not 0.0 <= hit_rate <= 1.0:
+            raise ConfigError(f"hit rate must be in [0, 1], got {hit_rate}")
+        if capacity_bytes <= 0:
+            raise ConfigError("L2 capacity must be positive")
+        self.sim = sim
+        self.memory = memory
+        self.capacity_bytes = capacity_bytes
+        self.hit_rate = hit_rate
+        self.energy = energy if energy is not None else EnergyAccount()
+        self._banks = [
+            BandwidthServer(
+                sim,
+                bytes_per_cycle=L2_BANK_BYTES_PER_CYCLE,
+                latency=L2_HIT_LATENCY,
+                name=f"l2bank{i}",
+            )
+            for i in range(n_banks)
+        ]
+        self.hits_bytes = 0.0
+        self.misses_bytes = 0.0
+
+    def access(self, nbytes: float, stream_id: int = 0) -> Event:
+        """Serve ``nbytes``; the miss fraction is fetched from memory."""
+        if nbytes < 0:
+            raise ConfigError(f"access size must be non-negative, got {nbytes}")
+        bank = self._banks[stream_id % len(self._banks)]
+        hit_bytes = nbytes * self.hit_rate
+        miss_bytes = nbytes - hit_bytes
+        self.hits_bytes += hit_bytes
+        self.misses_bytes += miss_bytes
+        self.energy.charge("l2", L2_ENERGY_PJ_PER_BYTE * nbytes * 1e-3)
+        events = [bank.transfer(nbytes)]
+        if miss_bytes > 0:
+            events.append(self.memory.access(miss_bytes, stream_id))
+
+        def proc():
+            yield AllOf(self.sim, events)
+            return nbytes
+
+        return self.sim.process(proc())
+
+    @property
+    def measured_hit_rate(self) -> float:
+        """Hit fraction over all traffic so far."""
+        total = self.hits_bytes + self.misses_bytes
+        return self.hits_bytes / total if total else 0.0

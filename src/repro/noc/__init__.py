@@ -1,0 +1,13 @@
+"""Network-on-chip substrate.
+
+A 2D mesh with XY routing connects islands, cores, shared L2 banks and
+memory controllers (paper Figure 4).  Links are modeled as bandwidth
+servers; a transfer occupies every link on its path and pays one router
+latency per hop, which preserves the contention behaviour the paper's
+Section 5.5 identifies as the system's primary bottleneck.
+"""
+
+from repro.noc.topology import MeshTopology, Node, NodeKind
+from repro.noc.mesh import MeshNoC
+
+__all__ = ["MeshNoC", "MeshTopology", "Node", "NodeKind"]

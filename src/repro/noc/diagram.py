@@ -1,0 +1,46 @@
+"""ASCII rendering of mesh placements (the Figure 4 floorplan view).
+
+Renders each mesh stop as a two-character cell — ``M`` memory
+controller, ``C`` core, ``L`` L2 bank, ``I`` island — matching the
+paper's block-diagram vocabulary.
+"""
+
+from __future__ import annotations
+
+from repro.noc.topology import MeshTopology, NodeKind
+
+#: Cell glyph per node kind.
+KIND_GLYPHS = {
+    NodeKind.MEMORY_CONTROLLER: "M",
+    NodeKind.CORE: "C",
+    NodeKind.L2_BANK: "L",
+    NodeKind.ISLAND: "I",
+}
+
+
+def render_topology(topology: MeshTopology, show_indices: bool = False) -> str:
+    """Render the mesh as a grid of labelled cells.
+
+    With ``show_indices`` each cell shows the component index too
+    (``I07``); otherwise cells are compact single glyphs.
+    """
+    cell_width = 4 if show_indices else 2
+    grid = [
+        ["." .ljust(cell_width - 1) for _x in range(topology.width)]
+        for _y in range(topology.height)
+    ]
+    for node in topology.nodes:
+        glyph = KIND_GLYPHS[node.kind]
+        label = f"{glyph}{node.index:02d}" if show_indices else glyph
+        grid[node.y][node.x] = label.ljust(cell_width - 1)
+    lines = [
+        f"{topology.width}x{topology.height} mesh "
+        f"({len(topology.nodes_of_kind(NodeKind.ISLAND))} islands, "
+        f"{len(topology.nodes_of_kind(NodeKind.CORE))} cores, "
+        f"{len(topology.nodes_of_kind(NodeKind.L2_BANK))} L2 banks, "
+        f"{len(topology.nodes_of_kind(NodeKind.MEMORY_CONTROLLER))} MCs)"
+    ]
+    for row in grid:
+        lines.append(" ".join(row))
+    lines.append("legend: M=memory controller  C=core  L=L2 bank  I=island  .=empty")
+    return "\n".join(lines)

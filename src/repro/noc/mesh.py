@@ -1,0 +1,147 @@
+"""The mesh NoC timing model.
+
+Each directed link between adjacent mesh stops is a bandwidth server.  A
+transfer follows dimension-ordered (XY) routing, occupies every link on
+its path, and pays one router-pipeline latency per hop.  Wormhole
+pipelining is approximated by completing when the *slowest* link on the
+path has drained the payload — links are charged in parallel, so a
+congested link delays the message but uncongested links do not serialize
+behind each other.
+"""
+
+from __future__ import annotations
+
+import math
+import typing
+
+from repro.engine import AllOf, BandwidthServer, Event, Simulator
+from repro.errors import ConfigError
+from repro.noc.topology import MeshTopology, Node
+from repro.power.aggregate import EnergyAccount
+
+#: Router pipeline latency per hop, cycles.
+ROUTER_LATENCY = 2.0
+
+#: Default mesh link bandwidth, bytes/cycle.
+DEFAULT_LINK_BYTES_PER_CYCLE = 16.0
+
+#: NoC dynamic energy, pJ per byte per hop (router + link).
+NOC_ENERGY_PJ_PER_BYTE_HOP = 1.1
+
+#: Header/flow-control overhead per packet when segmentation is on.
+PACKET_HEADER_BYTES = 8.0
+
+
+class MeshNoC:
+    """A 2D mesh with XY routing and per-link contention.
+
+    By default transfers are fluid (one message occupies its path until
+    its payload drains).  Passing ``segment_bytes`` segments messages
+    into packets of that size — the paper's traffic moves at cache-block
+    (64-byte) or half-block (32-byte) granularity — each paying a header
+    overhead, which exposes the Section 5.3 effect that narrow channels
+    waste width on packetization.
+    """
+
+    def __init__(
+        self,
+        sim: Simulator,
+        topology: MeshTopology,
+        link_bytes_per_cycle: float = DEFAULT_LINK_BYTES_PER_CYCLE,
+        energy: typing.Optional[EnergyAccount] = None,
+        segment_bytes: typing.Optional[float] = None,
+    ) -> None:
+        if link_bytes_per_cycle <= 0:
+            raise ConfigError("mesh link bandwidth must be positive")
+        if segment_bytes is not None and segment_bytes <= PACKET_HEADER_BYTES:
+            raise ConfigError(
+                f"segment size must exceed the {PACKET_HEADER_BYTES}-byte header"
+            )
+        self.sim = sim
+        self.topology = topology
+        self.link_bytes_per_cycle = link_bytes_per_cycle
+        self.energy = energy if energy is not None else EnergyAccount()
+        self.segment_bytes = segment_bytes
+        self._links: dict[tuple[tuple[int, int], tuple[int, int]], BandwidthServer] = {}
+        self.total_transfers = 0
+        self.total_packets = 0
+        self.total_byte_hops = 0.0
+
+    # ---------------------------------------------------------------- links
+    def _link(
+        self, src: tuple[int, int], dst: tuple[int, int]
+    ) -> BandwidthServer:
+        key = (src, dst)
+        if key not in self._links:
+            self._links[key] = BandwidthServer(
+                self.sim,
+                bytes_per_cycle=self.link_bytes_per_cycle,
+                latency=0.0,
+                name=f"link{src}->{dst}",
+            )
+        return self._links[key]
+
+    @staticmethod
+    def route(src: Node, dst: Node) -> list[tuple[tuple[int, int], tuple[int, int]]]:
+        """XY route: walk X first, then Y.  Returns the directed link list."""
+        path = []
+        x, y = src.x, src.y
+        while x != dst.x:
+            nxt = x + (1 if dst.x > x else -1)
+            path.append(((x, y), (nxt, y)))
+            x = nxt
+        while y != dst.y:
+            nxt = y + (1 if dst.y > y else -1)
+            path.append(((x, y), (x, nxt)))
+            y = nxt
+        return path
+
+    # ------------------------------------------------------------ transfers
+    def transfer(self, src: Node, dst: Node, nbytes: float) -> Event:
+        """Send ``nbytes`` from ``src`` to ``dst``; event fires on arrival."""
+        if nbytes < 0:
+            raise ConfigError(f"transfer size must be non-negative, got {nbytes}")
+        path = self.route(src, dst)
+        hops = len(path)
+        self.total_transfers += 1
+        if hops == 0 or nbytes == 0:
+            self.energy.charge(
+                "noc", NOC_ENERGY_PJ_PER_BYTE_HOP * nbytes * hops * 1e-3
+            )
+            done = Event(self.sim)
+            done.succeed(nbytes)
+            return done
+
+        wire_bytes = nbytes
+        if self.segment_bytes is not None:
+            payload = self.segment_bytes - PACKET_HEADER_BYTES
+            packets = math.ceil(nbytes / payload)
+            wire_bytes = nbytes + packets * PACKET_HEADER_BYTES
+            self.total_packets += packets
+        self.total_byte_hops += wire_bytes * hops
+        self.energy.charge(
+            "noc", NOC_ENERGY_PJ_PER_BYTE_HOP * wire_bytes * hops * 1e-3
+        )
+
+        link_events = [self._link(a, b).transfer(wire_bytes) for a, b in path]
+
+        def proc():
+            yield AllOf(self.sim, link_events)
+            yield self.sim.timeout(ROUTER_LATENCY * hops)
+            return nbytes
+
+        return self.sim.process(proc())
+
+    # ------------------------------------------------------------- metrics
+    def max_link_utilization(self, elapsed: float) -> float:
+        """Busy fraction of the most loaded link (the hotspot)."""
+        if not self._links:
+            return 0.0
+        return max(link.utilization(elapsed) for link in self._links.values())
+
+    def mean_link_utilization(self, elapsed: float) -> float:
+        """Average busy fraction over links that saw traffic."""
+        if not self._links:
+            return 0.0
+        values = [link.utilization(elapsed) for link in self._links.values()]
+        return sum(values) / len(values)

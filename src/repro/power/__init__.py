@@ -1,0 +1,40 @@
+"""Power and energy models.
+
+* :mod:`repro.power.mcpat` — McPAT-style out-of-order pipeline energy
+  breakdown (paper Figures 1-3).
+* :mod:`repro.power.ops` — per-operation processor-vs-ASIC energy
+  constants and the AES efficiency-gap case study (Section 1).
+* :mod:`repro.power.orion` — Orion-style router/link energy and area.
+* :mod:`repro.power.spm_model` — SPM bank energy and area vs size/ports.
+* :mod:`repro.power.aggregate` — per-category energy accounting for a
+  simulated run.
+"""
+
+from repro.power.mcpat import (
+    ASIC_COMPUTE_ENERGY_REDUCTION,
+    PIPELINE_BREAKDOWN,
+    PipelineEnergyModel,
+)
+from repro.power.ops import (
+    AES_IMPLEMENTATIONS,
+    OP_ENERGY_TABLE,
+    OpEnergy,
+    aes_efficiency_gap,
+)
+from repro.power.orion import LinkModel, RouterModel
+from repro.power.spm_model import SPMModel
+from repro.power.aggregate import EnergyAccount
+
+__all__ = [
+    "AES_IMPLEMENTATIONS",
+    "ASIC_COMPUTE_ENERGY_REDUCTION",
+    "EnergyAccount",
+    "LinkModel",
+    "OP_ENERGY_TABLE",
+    "OpEnergy",
+    "PIPELINE_BREAKDOWN",
+    "PipelineEnergyModel",
+    "RouterModel",
+    "SPMModel",
+    "aes_efficiency_gap",
+]

@@ -1,0 +1,95 @@
+"""Per-operation energy constants and the AES efficiency-gap case study.
+
+Section 1 of the paper measures the energy of individual arithmetic
+operations on a 2 GHz processor's compute units versus dedicated 45 nm
+ASIC logic blocks, and cites the classic AES study [21] showing a ~3
+million X performance/energy-efficiency gap between an ASIC and a Java
+implementation on an embedded SPARC.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+from repro.errors import ConfigError
+from repro.units import GIGA, MEGA
+
+
+@dataclass(frozen=True)
+class OpEnergy:
+    """Energy of one operation on the processor vs a dedicated ASIC block.
+
+    Attributes:
+        name: Operation label.
+        processor_nj: Energy per op on the 2 GHz processor compute unit.
+        asic_nj: Energy per op on the dedicated 45 nm logic block.
+        asic_clock_mhz: Clock the ASIC figure was measured at.
+    """
+
+    name: str
+    processor_nj: float
+    asic_nj: float
+    asic_clock_mhz: float
+
+    def __post_init__(self) -> None:
+        if self.processor_nj <= 0 or self.asic_nj <= 0:
+            raise ConfigError(f"{self.name}: energies must be positive")
+
+    @property
+    def savings_factor(self) -> float:
+        """Processor-to-ASIC energy ratio (e.g. 61X for 32-bit add)."""
+        return self.processor_nj / self.asic_nj
+
+
+#: Section 1 measurements: processor (2 GHz) vs dedicated ASIC blocks.
+OP_ENERGY_TABLE: dict[str, OpEnergy] = {
+    "add32": OpEnergy("add32", processor_nj=0.122, asic_nj=0.002, asic_clock_mhz=1000),
+    "mul32": OpEnergy("mul32", processor_nj=0.120, asic_nj=0.007, asic_clock_mhz=1000),
+    "fp_sp": OpEnergy("fp_sp", processor_nj=0.150, asic_nj=0.008, asic_clock_mhz=500),
+}
+
+
+@dataclass(frozen=True)
+class AESImplementation:
+    """One row of the AES-128 case study [21].
+
+    Attributes:
+        name: Platform label.
+        throughput_bps: Encryption throughput in bits/second.
+        power_w: Power draw in watts.
+    """
+
+    name: str
+    throughput_bps: float
+    power_w: float
+
+    def __post_init__(self) -> None:
+        if self.throughput_bps <= 0 or self.power_w <= 0:
+            raise ConfigError(f"{self.name}: throughput/power must be positive")
+
+    @property
+    def efficiency_bps_per_w(self) -> float:
+        """Performance/energy efficiency in bits/sec/W."""
+        return self.throughput_bps / self.power_w
+
+
+#: The AES-128 implementations cited in Section 1.
+AES_IMPLEMENTATIONS: dict[str, AESImplementation] = {
+    "asic_180nm": AESImplementation("asic_180nm", 3.86 * GIGA, 0.350),
+    "strongarm": AESImplementation("strongarm", 31 * MEGA, 0.240),
+    "pentium3": AESImplementation("pentium3", 648 * MEGA, 41.4),
+    "sparc_java": AESImplementation("sparc_java", 450.0, 0.120),
+}
+
+
+def aes_efficiency_gap(
+    best: str = "asic_180nm", worst: str = "sparc_java"
+) -> float:
+    """Efficiency ratio between two AES implementations (~3 million X)."""
+    table = AES_IMPLEMENTATIONS
+    for key in (best, worst):
+        if key not in table:
+            raise ConfigError(
+                f"unknown AES implementation {key!r}; known: {sorted(table)}"
+            )
+    return table[best].efficiency_bps_per_w / table[worst].efficiency_bps_per_w

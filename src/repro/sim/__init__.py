@@ -1,0 +1,17 @@
+"""System-level simulation: assembly, runner, results and metrics."""
+
+from repro.sim.system import SystemConfig, SystemModel, distribute_mix
+from repro.sim.results import SimResult
+from repro.sim.run import run_consolidated, run_workload
+from repro.sim.metrics import geomean, normalize_to
+
+__all__ = [
+    "SimResult",
+    "SystemConfig",
+    "SystemModel",
+    "distribute_mix",
+    "geomean",
+    "normalize_to",
+    "run_consolidated",
+    "run_workload",
+]

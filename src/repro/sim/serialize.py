@@ -1,0 +1,89 @@
+"""Result serialization: persist runs and sweeps as JSON.
+
+Simulations are deterministic, but sweeps are not free — serializing
+results lets a DSE session be saved, diffed against a future code
+version, or post-processed outside Python.
+"""
+
+from __future__ import annotations
+
+import json
+import typing
+
+from repro.errors import ConfigError
+from repro.sim.results import SimResult
+
+#: Format version stamped into every serialized document.
+SCHEMA_VERSION = 1
+
+
+def result_to_dict(result: SimResult) -> dict:
+    """Flatten a result into a JSON-safe dict (includes derived metrics)."""
+    return {
+        "workload": result.workload,
+        "config_label": result.config_label,
+        "tiles": result.tiles,
+        "total_cycles": result.total_cycles,
+        "energy_nj": result.energy_nj,
+        "area_mm2": result.area_mm2,
+        "abb_utilization_avg": result.abb_utilization_avg,
+        "abb_utilization_peak": result.abb_utilization_peak,
+        "energy_breakdown_nj": dict(result.energy_breakdown_nj),
+        "noc_max_link_utilization": result.noc_max_link_utilization,
+        "memory_bytes": result.memory_bytes,
+        "derived": result.summary_row(),
+    }
+
+
+def result_from_dict(data: typing.Mapping) -> SimResult:
+    """Rebuild a result from :func:`result_to_dict` output."""
+    required = {
+        "workload",
+        "config_label",
+        "tiles",
+        "total_cycles",
+        "energy_nj",
+        "area_mm2",
+    }
+    missing = required - set(data)
+    if missing:
+        raise ConfigError(f"serialized result missing fields: {sorted(missing)}")
+    return SimResult(
+        workload=data["workload"],
+        config_label=data["config_label"],
+        tiles=int(data["tiles"]),
+        total_cycles=float(data["total_cycles"]),
+        energy_nj=float(data["energy_nj"]),
+        area_mm2=float(data["area_mm2"]),
+        abb_utilization_avg=float(data.get("abb_utilization_avg", 0.0)),
+        abb_utilization_peak=float(data.get("abb_utilization_peak", 0.0)),
+        energy_breakdown_nj=dict(data.get("energy_breakdown_nj", {})),
+        noc_max_link_utilization=float(data.get("noc_max_link_utilization", 0.0)),
+        memory_bytes=float(data.get("memory_bytes", 0.0)),
+    )
+
+
+def save_results(
+    results: typing.Sequence[SimResult], path: str, note: str = ""
+) -> None:
+    """Write a list of results to a JSON file."""
+    document = {
+        "schema_version": SCHEMA_VERSION,
+        "note": note,
+        "results": [result_to_dict(r) for r in results],
+    }
+    with open(path, "w") as handle:
+        json.dump(document, handle, indent=2, sort_keys=True)
+
+
+def load_results(path: str) -> list:
+    """Read results back from :func:`save_results` output."""
+    with open(path) as handle:
+        document = json.load(handle)
+    version = document.get("schema_version")
+    if version != SCHEMA_VERSION:
+        raise ConfigError(
+            f"unsupported results schema version {version!r} "
+            f"(expected {SCHEMA_VERSION})"
+        )
+    return [result_from_dict(d) for d in document["results"]]

@@ -1,0 +1,43 @@
+"""Benchmark workloads.
+
+The paper evaluates medical-imaging (Deblur, Denoise, Segmentation,
+Registration) and navigation (Robot Localization, EKF-SLAM, Disparity
+Map) applications.  Each workload here is a kernel IR modeled after the
+benchmark's published structure — ABB mix, chaining degree, data volume —
+plus a calibrated software-execution cost for the CMP baseline.
+"""
+
+from repro.workloads.base import (
+    Workload,
+    scale_workload,
+    software_cycles_estimate,
+)
+from repro.workloads.medical import deblur, denoise, registration, segmentation
+from repro.workloads.navigation import disparity_map, ekf_slam, robot_localization
+from repro.workloads.suite import (
+    MEDICAL_NAMES,
+    NAVIGATION_NAMES,
+    PAPER_BENCHMARKS,
+    get_workload,
+    paper_suite,
+)
+from repro.workloads.synthetic import synthetic_workload
+
+__all__ = [
+    "MEDICAL_NAMES",
+    "NAVIGATION_NAMES",
+    "PAPER_BENCHMARKS",
+    "Workload",
+    "deblur",
+    "denoise",
+    "disparity_map",
+    "ekf_slam",
+    "get_workload",
+    "paper_suite",
+    "registration",
+    "robot_localization",
+    "scale_workload",
+    "segmentation",
+    "software_cycles_estimate",
+    "synthetic_workload",
+]

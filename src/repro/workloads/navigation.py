@@ -1,0 +1,89 @@
+"""Navigation-domain workloads.
+
+CHARM/CAMEL demonstrate that the medical-imaging ABB set also composes
+accelerators for computer-vision/navigation applications [8, 9]: Robot
+Localization (particle filter), EKF-SLAM (extended Kalman filter SLAM)
+and Disparity Map (stereo block matching).
+
+EKF-SLAM is the most chaining-intensive benchmark in the suite — many
+small chained matrix operations — which is why the paper's Fig. 6 shows
+it benefiting least from more islands and Fig. 10 shows the smallest
+speedup (1.8X).
+"""
+
+from __future__ import annotations
+
+from repro.abb.library import standard_library
+from repro.compiler.decompose import decompose
+from repro.compiler.kernel import Kernel
+from repro.workloads.base import Workload, software_cycles_estimate
+
+#: Calibrated software-inefficiency factor per benchmark (see
+#: repro.workloads.medical module docs).
+SW_FACTOR = {
+    "Robot Localization": 0.629,
+    "EKF-SLAM": 0.339,
+    "Disparity Map": 2.241,
+}
+
+_DEFAULT_TILES = 24
+
+
+def _finish(name: str, kernel: Kernel, tiles: int, description: str) -> Workload:
+    graph = decompose(kernel, standard_library())
+    return Workload(
+        name=name,
+        domain="navigation",
+        kernel=kernel,
+        tiles=tiles,
+        sw_cycles_per_tile=software_cycles_estimate(graph) * SW_FACTOR[name],
+        description=description,
+    )
+
+
+def robot_localization(tiles: int = _DEFAULT_TILES) -> Workload:
+    """Particle-filter localization: weight/normalize/resample chains."""
+    k = Kernel("robot_localization")
+    k.add_op("pred", "matvec_row", 256, inputs=["mem"])
+    k.add_op("lik0", "gaussian", 256, inputs=["pred"])
+    k.add_op("lik1", "gaussian", 256, inputs=["pred"])
+    k.add_op("wsum", "reduce_sum", 32, inputs=["lik0", "lik1"])
+    k.add_op("wnorm", "normalize", 256, inputs=["lik0", "wsum"])
+    k.add_op("est", "dot", 32, inputs=["wnorm"])
+    k.add_op("spread", "sqrt", 128, inputs=["wnorm"])
+    k.add_op("resamp", "interpolate", 256, inputs=["wnorm"])
+    k.add_op("jitter", "stencil", 128, inputs=["resamp"])
+    return _finish(
+        "Robot Localization", k, tiles, "particle-filter update"
+    )
+
+
+def ekf_slam(tiles: int = _DEFAULT_TILES) -> Workload:
+    """EKF-SLAM update: many small, heavily chained matrix operations."""
+    k = Kernel("ekf_slam")
+    k.add_op("jac", "matvec_row", 64, inputs=["mem"])
+    k.add_op("ph0", "matvec_row", 64, inputs=["jac"])
+    k.add_op("ph1", "matvec_row", 64, inputs=["jac"])
+    k.add_op("s_mat", "matvec_row", 64, inputs=["ph0", "ph1"])
+    k.add_op("det", "dot", 16, inputs=["s_mat"])
+    k.add_op("sinv", "reciprocal", 64, inputs=["s_mat", "det"])
+    k.add_op("gain", "matvec_row", 64, inputs=["ph0", "sinv"])
+    k.add_op("innov", "matvec_row", 64, inputs=["mem", "sinv"])
+    k.add_op("upd", "matvec_row", 64, inputs=["gain", "innov"])
+    k.add_op("cov", "matvec_row", 64, inputs=["gain", "s_mat", "upd"])
+    k.add_op("trace", "reduce_sum", 16, inputs=["cov"])
+    return _finish("EKF-SLAM", k, tiles, "EKF-SLAM measurement update")
+
+
+def disparity_map(tiles: int = _DEFAULT_TILES) -> Workload:
+    """Stereo block matching: parallel SAD windows, modest chaining."""
+    k = Kernel("disparity_map")
+    k.add_op("win0", "sad", 256, inputs=["mem"])
+    k.add_op("win1", "sad", 256, inputs=["mem"])
+    k.add_op("win2", "sad", 256, inputs=["mem"])
+    k.add_op("win3", "sad", 256, inputs=["mem"])
+    k.add_op("cost", "stencil", 256, inputs=["win0", "win1"])
+    k.add_op("best", "divide", 128, inputs=["cost"])
+    k.add_op("ref", "interpolate", 256, inputs=["mem"])
+    k.add_op("conf", "sqrt", 128, inputs=["best"])
+    return _finish("Disparity Map", k, tiles, "stereo disparity window")

@@ -1,0 +1,79 @@
+"""Out-of-domain workloads (the CAMEL evaluation set).
+
+CAMEL [9] is evaluated on benchmarks that *deviate* from the medical-
+imaging domain the ABB library was designed for: kernels containing
+operations (FFT butterflies, rank filters, entropy coding) with no ABB
+pattern.  CHARM cannot decompose them; CAMEL maps the alien operations
+onto programmable fabric and composes the rest from ASIC ABBs.
+
+``SW_FACTOR`` calibrates the software baselines as for the other suites.
+"""
+
+from __future__ import annotations
+
+from repro.abb.library import standard_library
+from repro.compiler.decompose import decompose
+from repro.compiler.kernel import Kernel
+from repro.compiler.pf_mapping import register_fabric
+from repro.workloads.base import Workload, software_cycles_estimate
+
+#: Calibrated software-inefficiency factor per benchmark.
+SW_FACTOR = {
+    "Object Tracking": 1.06,
+    "Feature Extraction": 1.06,
+    "LPC Coding": 1.06,
+}
+
+_DEFAULT_TILES = 24
+
+
+def _finish(name: str, kernel: Kernel, tiles: int, description: str) -> Workload:
+    library = standard_library()
+    register_fabric(library)
+    graph = decompose(kernel, library, allow_fabric=True)
+    return Workload(
+        name=name,
+        domain="navigation",
+        kernel=kernel,
+        tiles=tiles,
+        sw_cycles_per_tile=software_cycles_estimate(graph) * SW_FACTOR[name],
+        description=description,
+    )
+
+
+def object_tracking(tiles: int = _DEFAULT_TILES) -> Workload:
+    """Mean-shift object tracking: rank filtering needs the fabric."""
+    k = Kernel("object_tracking")
+    k.add_op("hist", "accumulate", 256, inputs=["mem"])
+    k.add_op("rank", "median_filter", 128, inputs=["mem"])  # fabric
+    k.add_op("wts", "gaussian", 256, inputs=["hist"])
+    k.add_op("shift", "divide", 256, inputs=["wts", "rank"])
+    k.add_op("upd", "interpolate", 256, inputs=["shift"])
+    return _finish("Object Tracking", k, tiles, "mean-shift tracker update")
+
+
+def feature_extraction(tiles: int = _DEFAULT_TILES) -> Workload:
+    """Spectral feature extraction: FFT butterflies need the fabric."""
+    k = Kernel("feature_extraction")
+    k.add_op("fft0", "fft_stage", 128, inputs=["mem"])  # fabric
+    k.add_op("fft1", "fft_stage", 128, inputs=["fft0"])  # fabric
+    k.add_op("mag", "norm2", 128, inputs=["fft1"])
+    k.add_op("bins", "reduce_sum", 16, inputs=["mag"])
+    k.add_op("norm", "normalize", 128, inputs=["bins"])
+    return _finish("Feature Extraction", k, tiles, "spectral feature bins")
+
+
+def lpc_coding(tiles: int = _DEFAULT_TILES) -> Workload:
+    """Linear-predictive coding: lattice recursion needs the fabric."""
+    k = Kernel("lpc_coding")
+    k.add_op("acorr", "dot", 64, inputs=["mem"])
+    k.add_op("lev", "lattice_recursion", 64, inputs=["acorr"])  # fabric
+    k.add_op("resid", "stencil", 128, inputs=["lev"])
+    k.add_op("gain", "sqrt", 64, inputs=["resid"])
+    k.add_op("quant", "divide", 128, inputs=["resid", "gain"])
+    return _finish("LPC Coding", k, tiles, "LPC analysis frame")
+
+
+def camel_suite(tiles: int = _DEFAULT_TILES) -> list[Workload]:
+    """The three out-of-domain benchmarks."""
+    return [object_tracking(tiles), feature_extraction(tiles), lpc_coding(tiles)]

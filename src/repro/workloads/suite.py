@@ -1,0 +1,39 @@
+"""The paper's 7-benchmark suite registry."""
+
+from __future__ import annotations
+
+import typing
+
+from repro.errors import ConfigError
+from repro.workloads.base import Workload
+from repro.workloads.medical import deblur, denoise, registration, segmentation
+from repro.workloads.navigation import disparity_map, ekf_slam, robot_localization
+
+#: Factories in the order the paper's figures list the benchmarks.
+PAPER_BENCHMARKS: dict[str, typing.Callable[..., Workload]] = {
+    "Deblur": deblur,
+    "Denoise": denoise,
+    "Segmentation": segmentation,
+    "Registration": registration,
+    "Robot Localization": robot_localization,
+    "EKF-SLAM": ekf_slam,
+    "Disparity Map": disparity_map,
+}
+
+MEDICAL_NAMES = ["Deblur", "Denoise", "Segmentation", "Registration"]
+NAVIGATION_NAMES = ["Robot Localization", "EKF-SLAM", "Disparity Map"]
+
+
+def get_workload(name: str, tiles: typing.Optional[int] = None) -> Workload:
+    """Instantiate one paper benchmark by name."""
+    if name not in PAPER_BENCHMARKS:
+        raise ConfigError(
+            f"unknown benchmark {name!r}; known: {list(PAPER_BENCHMARKS)}"
+        )
+    factory = PAPER_BENCHMARKS[name]
+    return factory(tiles=tiles) if tiles is not None else factory()
+
+
+def paper_suite(tiles: typing.Optional[int] = None) -> list[Workload]:
+    """All seven benchmarks in figure order."""
+    return [get_workload(name, tiles) for name in PAPER_BENCHMARKS]

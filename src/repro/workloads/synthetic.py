@@ -1,0 +1,72 @@
+"""Parameterized synthetic workload generator.
+
+Useful for sweeps that isolate one workload property — chaining degree,
+ABB-type mix, vector length — without the confounds of the real
+benchmarks.  The generator builds a layered graph: ``width`` parallel
+chains of ``depth`` stages, with ``chain_fraction`` controlling how many
+stage boundaries are chained versus round-tripped through memory.
+"""
+
+from __future__ import annotations
+
+from repro.compiler.kernel import Kernel
+from repro.errors import ConfigError
+from repro.workloads.base import Workload
+
+#: Opcodes cycled across stages (maps to poly/div/sqrt/pow/sum).
+_STAGE_OPCODES = ["stencil", "divide", "sqrt", "gaussian", "reduce_sum"]
+
+
+def synthetic_workload(
+    name: str = "synthetic",
+    depth: int = 4,
+    width: int = 3,
+    invocations: int = 256,
+    chain_fraction: float = 1.0,
+    tiles: int = 16,
+    sw_cycles_per_tile: float = 500_000.0,
+) -> Workload:
+    """Build a layered synthetic workload.
+
+    Args:
+        name: Workload name.
+        depth: Stages per chain.
+        width: Parallel chains.
+        invocations: Vector length of every op.
+        chain_fraction: Fraction of stage boundaries that chain
+            producer->consumer (the rest read from memory).  1.0 gives a
+            fully chained pipeline; 0.0 gives independent stages.
+        tiles: Tiles per run.
+        sw_cycles_per_tile: Software baseline cost.
+    """
+    if depth < 1 or width < 1:
+        raise ConfigError("depth and width must be >= 1")
+    if not 0.0 <= chain_fraction <= 1.0:
+        raise ConfigError(f"chain fraction must be in [0, 1], got {chain_fraction}")
+    kernel = Kernel(name)
+    boundary_index = 0
+    for chain in range(width):
+        prev = None
+        for stage in range(depth):
+            op_id = f"c{chain}s{stage}"
+            opcode = _STAGE_OPCODES[stage % len(_STAGE_OPCODES)]
+            if prev is None:
+                inputs = ["mem"]
+            else:
+                # Deterministically chain the first chain_fraction of
+                # boundaries (spread evenly via a phase accumulator).
+                chained = (boundary_index * chain_fraction) % 1.0 + chain_fraction >= 1.0
+                inputs = [prev] if chained else ["mem"]
+                boundary_index += 1
+            kernel.add_op(op_id, opcode, invocations, inputs=inputs)
+            prev = op_id
+    return Workload(
+        name=name,
+        domain="synthetic",
+        kernel=kernel,
+        tiles=tiles,
+        sw_cycles_per_tile=sw_cycles_per_tile,
+        description=(
+            f"synthetic {width}x{depth} graph, chain fraction {chain_fraction}"
+        ),
+    )

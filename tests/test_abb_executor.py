@@ -1,0 +1,79 @@
+"""Tests for the functional flow-graph executor."""
+
+import numpy as np
+import pytest
+
+from repro.abb import ABBFlowGraph
+from repro.abb.executor import FunctionalExecutor
+from repro.abb.functional import div_abb, poly_abb, sqrt_abb
+from repro.errors import ConfigError, SimulationError
+
+
+def make_gradient_magnitude_graph():
+    """gx, gy -> poly(squares) -> sqrt: the classic two-stage compose."""
+    g = ABBFlowGraph("gradmag")
+    g.add_task("sq", "poly", 8)
+    g.add_task("mag", "sqrt", 8)
+    g.add_edge("sq", "mag")
+    return g
+
+
+class TestFunctionalExecutor:
+    def test_two_stage_pipeline(self):
+        graph = make_gradient_magnitude_graph()
+        gx = np.array([3.0, 0.0, 1.0])
+        gy = np.array([4.0, 2.0, 1.0])
+        ex = FunctionalExecutor(graph)
+        ex.bind("sq", lambda chained, mem: poly_abb([(mem[0], mem[0]), (mem[1], mem[1])]))
+        ex.bind("mag", lambda chained, mem: sqrt_abb(chained[0]))
+        ex.feed("sq", gx, gy)
+        outputs = ex.run()
+        assert set(outputs) == {"mag"}
+        assert np.allclose(outputs["mag"], np.sqrt(gx**2 + gy**2))
+
+    def test_chained_inputs_arrive_in_edge_order(self):
+        g = ABBFlowGraph("order")
+        g.add_task("a", "poly", 1)
+        g.add_task("b", "poly", 1)
+        g.add_task("c", "div", 1)
+        g.add_edge("a", "c")
+        g.add_edge("b", "c")
+        ex = FunctionalExecutor(g)
+        ex.bind("a", lambda ch, mem: np.array([10.0]))
+        ex.bind("b", lambda ch, mem: np.array([2.0]))
+        ex.bind("c", lambda ch, mem: div_abb(ch[0], ch[1]))
+        assert np.allclose(ex.run()["c"], [5.0])
+
+    def test_missing_implementation_rejected(self):
+        graph = make_gradient_magnitude_graph()
+        ex = FunctionalExecutor(graph)
+        ex.bind("sq", lambda ch, mem: np.ones(2))
+        with pytest.raises(ConfigError) as err:
+            ex.run()
+        assert "mag" in str(err.value)
+
+    def test_unknown_task_bind_rejected(self):
+        ex = FunctionalExecutor(make_gradient_magnitude_graph())
+        with pytest.raises(ConfigError):
+            ex.bind("nope", lambda ch, mem: None)
+
+    def test_none_output_rejected(self):
+        g = ABBFlowGraph("bad")
+        g.add_task("a", "poly", 1)
+        ex = FunctionalExecutor(g)
+        ex.bind("a", lambda ch, mem: None)
+        with pytest.raises(SimulationError):
+            ex.run()
+
+    def test_output_of_intermediate_task(self):
+        graph = make_gradient_magnitude_graph()
+        ex = FunctionalExecutor(graph)
+        ex.bind("sq", lambda ch, mem: np.array([9.0]))
+        ex.bind("mag", lambda ch, mem: sqrt_abb(ch[0]))
+        ex.run()
+        assert np.allclose(ex.output_of("sq"), [9.0])
+
+    def test_output_before_run_rejected(self):
+        ex = FunctionalExecutor(make_gradient_magnitude_graph())
+        with pytest.raises(SimulationError):
+            ex.output_of("sq")

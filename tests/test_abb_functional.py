@@ -1,0 +1,116 @@
+"""Tests for the value-level ABB semantics."""
+
+import numpy as np
+import pytest
+from hypothesis import given, strategies as st
+from hypothesis.extra import numpy as hnp
+
+from repro.abb.functional import (
+    ABB_SEMANTICS,
+    div_abb,
+    poly_abb,
+    pow_abb,
+    sqrt_abb,
+    sum_abb,
+)
+from repro.errors import ConfigError
+
+vectors = hnp.arrays(
+    np.float64,
+    st.integers(1, 16),
+    elements=st.floats(-100, 100, allow_nan=False),
+)
+
+
+class TestPolyABB:
+    def test_single_pair_is_product(self):
+        out = poly_abb([(np.array([2.0, 3.0]), np.array([4.0, 5.0]))])
+        assert np.allclose(out, [8.0, 15.0])
+
+    def test_coefficients_weight_products(self):
+        a = np.ones(3)
+        out = poly_abb([(a, a), (a, a)], coefficients=[2.0, 3.0])
+        assert np.allclose(out, 5.0)
+
+    def test_convolution_tap_semantics(self):
+        """poly implements a MAC tree: sum of pixel*weight."""
+        pixels = [np.array([1.0]), np.array([2.0]), np.array([3.0])]
+        weights = [np.array([0.5]), np.array([0.25]), np.array([0.25])]
+        out = poly_abb(list(zip(pixels, weights)))
+        assert np.allclose(out, 1.0 * 0.5 + 2.0 * 0.25 + 3.0 * 0.25)
+
+    def test_too_many_pairs_rejected(self):
+        a = np.ones(2)
+        with pytest.raises(ConfigError):
+            poly_abb([(a, a)] * 9)
+
+    def test_empty_rejected(self):
+        with pytest.raises(ConfigError):
+            poly_abb([])
+
+    def test_shape_mismatch_rejected(self):
+        with pytest.raises(ConfigError):
+            poly_abb([(np.ones(2), np.ones(3))])
+
+    @given(vectors)
+    def test_square_pair_non_negative(self, x):
+        assert np.all(poly_abb([(x, x)]) >= 0)
+
+
+class TestDivSqrtPow:
+    def test_div(self):
+        assert np.allclose(div_abb([6.0, 9.0], [2.0, 3.0]), [3.0, 3.0])
+
+    def test_div_by_zero_rejected(self):
+        with pytest.raises(ConfigError):
+            div_abb([1.0], [0.0])
+
+    def test_sqrt(self):
+        assert np.allclose(sqrt_abb([4.0, 9.0]), [2.0, 3.0])
+
+    def test_sqrt_negative_rejected(self):
+        with pytest.raises(ConfigError):
+            sqrt_abb([-1.0])
+
+    def test_pow(self):
+        assert np.allclose(pow_abb([2.0, 3.0], [3.0, 2.0]), [8.0, 9.0])
+
+    def test_pow_gaussian_mode(self):
+        assert np.allclose(pow_abb([0.0, 1.0], gaussian=True), [1.0, np.exp(-1)])
+
+    def test_pow_needs_exponent(self):
+        with pytest.raises(ConfigError):
+            pow_abb([1.0])
+
+    @given(vectors)
+    def test_sqrt_of_square_is_abs(self, x):
+        assert np.allclose(sqrt_abb(poly_abb([(x, x)])), np.abs(x), atol=1e-9)
+
+
+class TestSumABB:
+    def test_plain_reduction(self):
+        out = sum_abb([[1.0, 2.0], [3.0, 4.0], [5.0, 6.0]])
+        assert np.allclose(out, [9.0, 12.0])
+
+    def test_sad_mode(self):
+        out = sum_abb([[1.0], [4.0], [10.0], [7.0]], sad_pairs=True)
+        assert np.allclose(out, [3.0 + 3.0])
+
+    def test_sad_needs_pairs(self):
+        with pytest.raises(ConfigError):
+            sum_abb([[1.0], [2.0], [3.0]], sad_pairs=True)
+
+    def test_too_many_inputs_rejected(self):
+        with pytest.raises(ConfigError):
+            sum_abb([np.ones(2)] * 17)
+
+    @given(st.lists(st.floats(-50, 50, allow_nan=False), min_size=2, max_size=16))
+    def test_matches_python_sum(self, values):
+        arrays = [np.array([v]) for v in values]
+        assert np.allclose(sum_abb(arrays), sum(values), atol=1e-9)
+
+
+def test_semantics_registry_covers_all_standard_types():
+    from repro.abb import standard_library
+
+    assert set(ABB_SEMANTICS) == set(standard_library().names)

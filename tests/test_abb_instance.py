@@ -1,0 +1,82 @@
+"""Unit tests for the runtime ABB instance state machine."""
+
+import pytest
+
+from repro.abb import ABBInstance, ABBState, standard_library
+from repro.errors import SimulationError
+
+
+@pytest.fixture
+def poly():
+    return standard_library().get("poly")
+
+
+def test_initial_state_idle(poly):
+    inst = ABBInstance(0, poly, island_id=0)
+    assert inst.is_free
+    assert inst.state is ABBState.IDLE
+
+
+def test_reserve_start_finish_cycle(poly):
+    inst = ABBInstance(1, poly, island_id=2)
+    inst.reserve(now=10.0)
+    assert not inst.is_free
+    inst.start_compute()
+    inst.finish(now=50.0, invocations=30)
+    assert inst.is_free
+    assert inst.busy_cycles == pytest.approx(40.0)
+    assert inst.total_invocations == 30
+    assert inst.total_tasks == 1
+
+
+def test_double_reserve_rejected(poly):
+    inst = ABBInstance(0, poly, 0)
+    inst.reserve(0.0)
+    with pytest.raises(SimulationError):
+        inst.reserve(1.0)
+
+
+def test_start_without_reserve_rejected(poly):
+    inst = ABBInstance(0, poly, 0)
+    with pytest.raises(SimulationError):
+        inst.start_compute()
+
+
+def test_finish_without_start_rejected(poly):
+    inst = ABBInstance(0, poly, 0)
+    inst.reserve(0.0)
+    with pytest.raises(SimulationError):
+        inst.finish(1.0, 1)
+
+
+def test_utilization_accumulates(poly):
+    inst = ABBInstance(0, poly, 0)
+    inst.reserve(0.0)
+    inst.start_compute()
+    inst.finish(25.0, 10)
+    assert inst.utilization(100.0) == pytest.approx(0.25)
+
+
+def test_utilization_counts_in_flight_busy(poly):
+    inst = ABBInstance(0, poly, 0)
+    inst.reserve(50.0)
+    assert inst.utilization(100.0) == pytest.approx(0.5)
+
+
+def test_utilization_zero_elapsed(poly):
+    inst = ABBInstance(0, poly, 0)
+    assert inst.utilization(0.0) == 0.0
+
+
+def test_dynamic_energy_tracks_invocations(poly):
+    inst = ABBInstance(0, poly, 0)
+    inst.reserve(0.0)
+    inst.start_compute()
+    inst.finish(10.0, 100)
+    assert inst.dynamic_energy_nj() == pytest.approx(
+        poly.energy_per_invocation_nj * 100
+    )
+
+
+def test_repr_mentions_type(poly):
+    assert "poly" in repr(ABBInstance(3, poly, 1))

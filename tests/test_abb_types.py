@@ -1,0 +1,116 @@
+"""Unit tests for ABB type specs and the standard library."""
+
+import pytest
+from hypothesis import given, strategies as st
+
+from repro.abb import ABBType, PAPER_ABB_MIX, PAPER_TOTAL_ABBS, standard_library
+from repro.errors import ConfigError
+
+
+def make_type(**overrides):
+    base = dict(
+        name="t",
+        latency=10,
+        initiation_interval=1,
+        input_bytes=8,
+        output_bytes=4,
+        spm_banks_min=2,
+        spm_bank_bytes=1024,
+        area_mm2=0.01,
+        energy_per_invocation_nj=0.01,
+        static_power_mw=0.1,
+    )
+    base.update(overrides)
+    return ABBType(**base)
+
+
+class TestABBType:
+    def test_compute_cycles_pipelined(self):
+        t = make_type(latency=10, initiation_interval=1)
+        assert t.compute_cycles(1) == 10
+        assert t.compute_cycles(100) == 109
+
+    def test_compute_cycles_with_ii(self):
+        t = make_type(latency=10, initiation_interval=4)
+        assert t.compute_cycles(5) == 10 + 4 * 4
+
+    def test_zero_invocations_rejected(self):
+        t = make_type()
+        with pytest.raises(ConfigError):
+            t.compute_cycles(0)
+
+    def test_peak_bandwidth(self):
+        t = make_type(input_bytes=8, output_bytes=4, initiation_interval=2)
+        assert t.peak_bytes_per_cycle() == pytest.approx(6.0)
+
+    def test_dynamic_energy_scales(self):
+        t = make_type(energy_per_invocation_nj=0.5)
+        assert t.dynamic_energy_nj(10) == pytest.approx(5.0)
+
+    @pytest.mark.parametrize(
+        "field,value",
+        [
+            ("name", ""),
+            ("latency", 0),
+            ("initiation_interval", 0),
+            ("input_bytes", 0),
+            ("output_bytes", -1),
+            ("spm_banks_min", 0),
+            ("spm_bank_bytes", 0),
+            ("area_mm2", 0.0),
+            ("energy_per_invocation_nj", -0.1),
+        ],
+    )
+    def test_invalid_fields_rejected(self, field, value):
+        with pytest.raises(ConfigError):
+            make_type(**{field: value})
+
+    @given(st.integers(1, 10_000))
+    def test_compute_cycles_monotone(self, n):
+        t = make_type(latency=7, initiation_interval=3)
+        assert t.compute_cycles(n + 1) > t.compute_cycles(n)
+
+
+class TestStandardLibrary:
+    def test_has_five_paper_types(self):
+        lib = standard_library()
+        assert set(lib.names) == {"poly", "div", "sqrt", "pow", "sum"}
+
+    def test_paper_mix_totals_120(self):
+        assert PAPER_TOTAL_ABBS == 120
+        assert PAPER_ABB_MIX["poly"] == 78
+        assert PAPER_ABB_MIX["div"] == 18
+        assert PAPER_ABB_MIX["sqrt"] == 9
+        assert PAPER_ABB_MIX["pow"] == 6
+        assert PAPER_ABB_MIX["sum"] == 9
+
+    def test_mix_only_references_known_types(self):
+        lib = standard_library()
+        lib.validate_mix(PAPER_ABB_MIX)
+
+    def test_poly_is_16_input(self):
+        lib = standard_library()
+        assert lib.get("poly").input_bytes == 16 * 4
+
+    def test_unknown_type_raises(self):
+        lib = standard_library()
+        with pytest.raises(ConfigError):
+            lib.get("fft")
+
+    def test_duplicate_registration_rejected(self):
+        lib = standard_library()
+        with pytest.raises(ConfigError):
+            lib.register(make_type(name="poly"))
+
+    def test_contains_and_len(self):
+        lib = standard_library()
+        assert "poly" in lib
+        assert "nope" not in lib
+        assert len(lib) == 5
+
+    def test_bad_mix_rejected(self):
+        lib = standard_library()
+        with pytest.raises(ConfigError):
+            lib.validate_mix({"fft": 3})
+        with pytest.raises(ConfigError):
+            lib.validate_mix({"poly": -1})

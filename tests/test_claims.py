@@ -1,0 +1,70 @@
+"""Consistency tests for the structured paper-claims registry."""
+
+import pytest
+
+from repro import claims
+from repro.abb import PAPER_ABB_MIX
+from repro.mem.controller import (
+    PAPER_MC_BANDWIDTH_GBPS,
+    PAPER_MC_COUNT,
+    PAPER_MC_LATENCY_CYCLES,
+)
+from repro.workloads import PAPER_BENCHMARKS
+
+
+class TestInternalConsistency:
+    def test_fig10_covers_all_benchmarks(self):
+        assert set(claims.FIG10) == set(PAPER_BENCHMARKS)
+
+    def test_fig10_averages_match_rows(self):
+        """The paper's quoted 7X / 20X really are the bar averages."""
+        speedups = [row.speedup for row in claims.FIG10.values()]
+        gains = [row.energy_gain for row in claims.FIG10.values()]
+        assert sum(speedups) / len(speedups) == pytest.approx(
+            claims.FIG10_AVERAGE_SPEEDUP, rel=0.05
+        )
+        assert sum(gains) / len(gains) == pytest.approx(
+            claims.FIG10_AVERAGE_ENERGY_GAIN, rel=0.05
+        )
+
+    def test_energy_to_speedup_ratio_uniform(self):
+        """Fig. 10's energy gains track speedups with a near-constant
+        platform-power ratio (~2.75X) — the observation the platform
+        power calibration rests on."""
+        ratios = [
+            row.energy_gain / row.speedup for row in claims.FIG10.values()
+        ]
+        assert max(ratios) / min(ratios) < 1.1
+        assert sum(ratios) / len(ratios) == pytest.approx(2.76, abs=0.1)
+
+    def test_fractions_partition(self):
+        total = (
+            claims.COMPUTE_FRACTION
+            + claims.MEMORY_FRACTION
+            + claims.OVERHEAD_FRACTION
+        )
+        assert total == pytest.approx(1.0)
+
+
+class TestModelAgreement:
+    def test_abb_mix_matches_library(self):
+        assert claims.ABB_MIX == PAPER_ABB_MIX
+        assert sum(claims.ABB_MIX.values()) == claims.TOTAL_ABBS
+
+    def test_memory_constants_match_model(self):
+        assert claims.MEMORY_CONTROLLERS == PAPER_MC_COUNT
+        assert claims.MC_LATENCY_CYCLES == PAPER_MC_LATENCY_CYCLES
+        assert claims.MC_BANDWIDTH_GBPS == PAPER_MC_BANDWIDTH_GBPS
+
+    def test_island_counts_match_presets(self):
+        from repro.arch.presets import BASELINE_ISLAND_COUNTS
+
+        assert list(claims.ISLAND_COUNTS) == BASELINE_ISLAND_COUNTS
+
+    def test_op_savings_match_power_model(self):
+        from repro.power import OP_ENERGY_TABLE
+
+        for name, claimed in claims.OP_SAVINGS.items():
+            assert OP_ENERGY_TABLE[name].savings_factor == pytest.approx(
+                claimed, rel=0.02
+            )

@@ -1,0 +1,59 @@
+"""Tests for the command-line interface."""
+
+import pytest
+
+from repro.cli import NETWORK_ALIASES, build_parser, main
+
+
+class TestParser:
+    def test_all_subcommands_present(self):
+        parser = build_parser()
+        text = parser.format_help()
+        for command in ("fig2", "fig3", "ops", "fig6", "fig7", "fig8", "fig9", "fig10", "run", "report"):
+            assert command in text
+
+    def test_requires_subcommand(self):
+        with pytest.raises(SystemExit):
+            build_parser().parse_args([])
+
+    def test_network_aliases_cover_paper_networks(self):
+        from repro.arch.presets import PAPER_NETWORKS
+
+        assert set(NETWORK_ALIASES.values()) == set(PAPER_NETWORKS)
+
+
+class TestCommands:
+    def test_fig2_prints_breakdown(self, capsys):
+        assert main(["fig2"]) == 0
+        out = capsys.readouterr().out
+        assert "Figure 2" in out
+        assert "miscellaneous" in out
+
+    def test_fig3_prints_savings(self, capsys):
+        assert main(["fig3"]) == 0
+        assert "compute_energy_savings" in capsys.readouterr().out
+
+    def test_ops_prints_gap(self, capsys):
+        assert main(["ops"]) == 0
+        out = capsys.readouterr().out
+        assert "add32" in out and "AES" in out
+
+    def test_run_command(self, capsys):
+        assert main(["run", "Denoise", "--tiles", "2", "--islands", "3"]) == 0
+        out = capsys.readouterr().out
+        assert "Denoise" in out
+        assert "speedup" in out
+
+    def test_run_rejects_unknown_network(self, capsys):
+        assert main(["run", "Denoise", "--tiles", "2", "--network", "torus"]) == 1
+        assert "unknown network" in capsys.readouterr().err
+
+    def test_run_rejects_unknown_workload(self):
+        with pytest.raises(SystemExit):
+            main(["run", "Linpack"])
+
+    def test_fig10_small(self, capsys):
+        assert main(["fig10", "--tiles", "2"]) == 0
+        out = capsys.readouterr().out
+        assert "Figure 10" in out
+        assert "Segmentation" in out

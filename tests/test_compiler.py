@@ -1,0 +1,165 @@
+"""Tests for the kernel IR, decomposition, coverage and PF mapping."""
+
+import pytest
+
+from repro.abb import standard_library
+from repro.compiler import (
+    Kernel,
+    PF_ABB_TYPE_NAME,
+    coverage_report,
+    decompose,
+    minimum_abb_set,
+    register_fabric,
+    supported_opcodes,
+)
+from repro.compiler.decompose import fabric_task_fraction
+from repro.compiler.pf_mapping import PF_ENERGY_FACTOR, PF_LATENCY_FACTOR
+from repro.errors import ConfigError, DecompositionError
+
+
+@pytest.fixture
+def lib():
+    return standard_library()
+
+
+def denoise_like_kernel():
+    """A small stencil kernel: two stencils feeding a normalize."""
+    k = Kernel("denoise_tile")
+    k.add_op("s1", "stencil", 256, inputs=["mem"])
+    k.add_op("s2", "stencil", 256, inputs=["mem"])
+    k.add_op("n", "normalize", 256, inputs=["s1", "s2"])
+    return k
+
+
+class TestKernelIR:
+    def test_build_and_lookup(self):
+        k = denoise_like_kernel()
+        assert len(k) == 3
+        assert k.op("n").producer_ids == ["s1", "s2"]
+        assert k.opcodes() == {"stencil", "normalize"}
+
+    def test_memory_inputs_not_producers(self):
+        k = denoise_like_kernel()
+        assert k.op("s1").producer_ids == []
+
+    def test_duplicate_op_rejected(self):
+        k = denoise_like_kernel()
+        with pytest.raises(ConfigError):
+            k.add_op("s1", "stencil", 1)
+
+    def test_forward_reference_rejected(self):
+        k = Kernel("bad")
+        with pytest.raises(ConfigError):
+            k.add_op("a", "stencil", 1, inputs=["b"])
+
+    def test_unknown_op_lookup_rejected(self):
+        with pytest.raises(ConfigError):
+            denoise_like_kernel().op("zz")
+
+    def test_invalid_vector_length(self):
+        k = Kernel("bad")
+        with pytest.raises(ConfigError):
+            k.add_op("a", "stencil", 0)
+
+
+class TestDecompose:
+    def test_maps_opcodes_to_abb_types(self, lib):
+        g = decompose(denoise_like_kernel(), lib)
+        assert g.task("s1").abb_type == "poly"
+        assert g.task("n").abb_type == "div"
+        assert len(g.edges) == 2
+
+    def test_vector_length_becomes_invocations(self, lib):
+        g = decompose(denoise_like_kernel(), lib)
+        assert g.task("s1").invocations == 256
+
+    def test_unknown_opcode_raises_for_charm(self, lib):
+        k = Kernel("fft_kernel")
+        k.add_op("f", "fft", 64, inputs=["mem"])
+        with pytest.raises(DecompositionError) as err:
+            decompose(k, lib)
+        assert "programmable" in str(err.value)
+
+    def test_camel_fabric_fallback(self, lib):
+        register_fabric(lib)
+        k = Kernel("fft_kernel")
+        k.add_op("f", "fft", 64, inputs=["mem"])
+        k.add_op("s", "reduce_sum", 4, inputs=["f"])
+        g = decompose(k, lib, allow_fabric=True)
+        assert g.task("f").abb_type == PF_ABB_TYPE_NAME
+        assert g.task("s").abb_type == "sum"
+        assert fabric_task_fraction(g) == pytest.approx(0.5)
+
+    def test_fabric_fallback_requires_registered_pf(self, lib):
+        k = Kernel("fft_kernel")
+        k.add_op("f", "fft", 64)
+        with pytest.raises(DecompositionError):
+            decompose(k, lib, allow_fabric=True)
+
+    def test_empty_kernel_rejected(self, lib):
+        with pytest.raises(DecompositionError):
+            decompose(Kernel("empty"), lib)
+
+    def test_all_table_entries_map_to_known_types(self, lib):
+        for opcode in supported_opcodes():
+            k = Kernel(f"k_{opcode}")
+            k.add_op("o", opcode, 8, inputs=["mem"])
+            g = decompose(k, lib)
+            assert g.task("o").abb_type in lib.names
+
+
+class TestCoverage:
+    def test_minimum_set_counts_parallel_same_type_tasks(self, lib):
+        k = Kernel("wide")
+        for i in range(4):
+            k.add_op(f"s{i}", "stencil", 16, inputs=["mem"])
+        k.add_op("r", "reduce_sum", 4, inputs=[f"s{i}" for i in range(4)])
+        g = decompose(k, lib)
+        needs = minimum_abb_set(g)
+        assert needs == {"poly": 4, "sum": 1}
+
+    def test_serial_chain_needs_one_per_type(self, lib):
+        k = Kernel("serial")
+        k.add_op("a", "stencil", 8, inputs=["mem"])
+        k.add_op("b", "stencil", 8, inputs=["a"])
+        k.add_op("c", "stencil", 8, inputs=["b"])
+        g = decompose(k, lib)
+        assert minimum_abb_set(g) == {"poly": 1}
+
+    def test_coverage_report_covered(self, lib):
+        g = decompose(denoise_like_kernel(), lib)
+        report = coverage_report(g, {"poly": 78, "div": 18}, lib)
+        assert report["covered"]
+        assert report["missing_types"] == []
+
+    def test_coverage_report_missing_type(self, lib):
+        g = decompose(denoise_like_kernel(), lib)
+        report = coverage_report(g, {"poly": 10}, lib)
+        assert not report["covered"]
+        assert report["missing_types"] == ["div"]
+
+    def test_coverage_report_saturation(self, lib):
+        k = Kernel("wide")
+        for i in range(6):
+            k.add_op(f"s{i}", "stencil", 16, inputs=["mem"])
+        g = decompose(k, lib)
+        report = coverage_report(g, {"poly": 2}, lib)
+        assert report["covered"]
+        assert report["saturated_types"] == ["poly"]
+
+
+class TestProgrammableFabric:
+    def test_pf_slower_and_hungrier_than_asic(self, lib):
+        pf = register_fabric(lib)
+        poly = lib.get("poly")
+        assert pf.latency == poly.latency * PF_LATENCY_FACTOR
+        assert pf.energy_per_invocation_nj == pytest.approx(
+            poly.energy_per_invocation_nj * PF_ENERGY_FACTOR
+        )
+        assert pf.area_mm2 > poly.area_mm2
+
+    def test_register_fabric_idempotent(self, lib):
+        first = register_fabric(lib)
+        second = register_fabric(lib)
+        assert first is second
+        assert len([t for t in lib if t.name == PF_ABB_TYPE_NAME]) == 1

@@ -1,0 +1,87 @@
+"""Tests for GAM-feedback dispatch (accelerate vs software fallback)."""
+
+import pytest
+
+from repro.core.dispatch import DispatchStats, FeedbackDispatcher
+from repro.core.gam import GlobalAcceleratorManager
+from repro.engine import Simulator
+from repro.errors import ConfigError
+
+
+def make_dispatcher(units=1, accel=100.0, software=1000.0):
+    sim = Simulator()
+    gam = GlobalAcceleratorManager(sim, {"kernel": units})
+    return sim, FeedbackDispatcher(sim, gam, "kernel", accel, software)
+
+
+class TestDecision:
+    def test_accelerates_when_free(self):
+        _, dispatcher = make_dispatcher()
+        assert dispatcher.should_accelerate()
+
+    def test_falls_back_when_queue_too_long(self):
+        sim, dispatcher = make_dispatcher(units=1, accel=100.0, software=150.0)
+        # Saturate the single unit so the estimated wait is large.
+        results = []
+        for _ in range(6):
+            dispatcher.dispatch_tile().add_callback(lambda e: results.append(e.value))
+        sim.run()
+        assert "software" in results
+        assert dispatcher.stats.software_fallback > 0
+
+    def test_no_fallback_when_software_is_terrible(self):
+        sim, dispatcher = make_dispatcher(units=2, accel=100.0, software=1e9)
+        results = []
+        for _ in range(10):
+            dispatcher.dispatch_tile().add_callback(lambda e: results.append(e.value))
+        sim.run()
+        assert all(r == "accel" for r in results)
+
+    def test_invalid_costs_rejected(self):
+        sim = Simulator()
+        gam = GlobalAcceleratorManager(sim, {"k": 1})
+        with pytest.raises(ConfigError):
+            FeedbackDispatcher(sim, gam, "k", 0, 100)
+
+
+class TestThroughput:
+    def test_fallback_beats_pure_queueing(self):
+        """The feature's point: spilling to software when the queue is
+        long finishes the batch sooner than always queueing."""
+
+        def makespan(software_cycles):
+            sim, dispatcher = make_dispatcher(
+                units=1, accel=100.0, software=software_cycles
+            )
+            done = dispatcher.run_tiles(10)
+            sim.run()
+            return sim.now, dispatcher.stats
+
+        # software=250: tiles beyond a ~2-deep queue run on the core.
+        with_fallback, stats = makespan(250.0)
+        # software so slow nothing ever falls back -> strict queueing.
+        pure_queue, _ = makespan(1e9)
+        assert stats.software_fallback > 0
+        assert with_fallback < pure_queue
+
+    def test_run_tiles_completes_all(self):
+        sim, dispatcher = make_dispatcher()
+        done = dispatcher.run_tiles(5)
+        sim.run()
+        assert done.triggered
+        assert dispatcher.stats.total == 5
+
+    def test_run_tiles_validates_count(self):
+        _, dispatcher = make_dispatcher()
+        with pytest.raises(ConfigError):
+            dispatcher.run_tiles(0)
+
+
+class TestStats:
+    def test_fractions(self):
+        stats = DispatchStats(accelerated=3, software_fallback=1)
+        assert stats.total == 4
+        assert stats.fallback_fraction == pytest.approx(0.25)
+
+    def test_empty_stats_safe(self):
+        assert DispatchStats().fallback_fraction == 0.0

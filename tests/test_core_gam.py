@@ -1,0 +1,135 @@
+"""Tests for the ARC Global Accelerator Manager."""
+
+import pytest
+
+from repro.core.gam import (
+    GlobalAcceleratorManager,
+    InterruptModel,
+    LIGHTWEIGHT_INTERRUPT_CYCLES,
+    OS_INTERRUPT_CYCLES,
+)
+from repro.engine import Simulator
+from repro.errors import AllocationError, ConfigError
+
+
+def make_gam(counts=None, **kwargs):
+    sim = Simulator()
+    gam = GlobalAcceleratorManager(sim, counts or {"deblur": 2}, **kwargs)
+    return sim, gam
+
+
+class TestArbitration:
+    def test_grants_up_to_capacity(self):
+        sim, gam = make_gam({"deblur": 2})
+        tickets = []
+        gam.request("deblur").add_callback(lambda e: tickets.append(e.value))
+        gam.request("deblur").add_callback(lambda e: tickets.append(e.value))
+        sim.run()
+        assert len(tickets) == 2
+        assert gam.queue_length("deblur") == 0
+
+    def test_third_request_queues_fifo(self):
+        sim, gam = make_gam({"deblur": 1})
+        order = []
+
+        def user(tag, hold):
+            ticket = yield gam.request("deblur")
+            order.append(tag)
+            yield sim.timeout(hold)
+            gam.release("deblur", ticket)
+
+        sim.process(user("a", 10))
+        sim.process(user("b", 10))
+        sim.process(user("c", 10))
+        sim.run()
+        assert order == ["a", "b", "c"]
+
+    def test_release_requires_valid_ticket(self):
+        sim, gam = make_gam()
+        grants = []
+        gam.request("deblur").add_callback(lambda e: grants.append(e.value))
+        sim.run()
+        with pytest.raises(AllocationError):
+            gam.release("deblur", ticket=99999)
+
+    def test_release_idle_class_rejected(self):
+        sim, gam = make_gam()
+        with pytest.raises(AllocationError):
+            gam.release("deblur", 0)
+
+    def test_unknown_class_rejected(self):
+        sim, gam = make_gam()
+        with pytest.raises(ConfigError):
+            gam.request("fft")
+        with pytest.raises(ConfigError):
+            gam.queue_length("fft")
+
+    def test_invalid_config_rejected(self):
+        sim = Simulator()
+        with pytest.raises(ConfigError):
+            GlobalAcceleratorManager(sim, {})
+        with pytest.raises(ConfigError):
+            GlobalAcceleratorManager(sim, {"x": 0})
+
+
+class TestWaitFeedback:
+    def test_zero_wait_when_free(self):
+        _, gam = make_gam({"deblur": 2})
+        assert gam.estimate_wait("deblur") == 0.0
+
+    def test_wait_grows_with_queue(self):
+        sim, gam = make_gam({"deblur": 1})
+
+        def holder():
+            ticket = yield gam.request("deblur")
+            yield sim.timeout(100)
+            gam.release("deblur", ticket)
+
+        sim.process(holder())
+        sim.run(until=1)
+        first = gam.estimate_wait("deblur")
+        gam.request("deblur")
+        second = gam.estimate_wait("deblur")
+        assert second > first > 0
+
+    def test_wait_statistics_recorded(self):
+        sim, gam = make_gam({"deblur": 1})
+
+        def user(hold):
+            ticket = yield gam.request("deblur")
+            yield sim.timeout(hold)
+            gam.release("deblur", ticket)
+
+        sim.process(user(50))
+        sim.process(user(50))
+        sim.run()
+        assert gam.wait_cycles.count == 2
+        assert gam.wait_cycles.max == pytest.approx(50.0)
+        assert gam.service_cycles.mean == pytest.approx(50.0)
+
+
+class TestInterrupts:
+    def test_lightweight_is_two_orders_cheaper(self):
+        assert OS_INTERRUPT_CYCLES / LIGHTWEIGHT_INTERRUPT_CYCLES >= 100
+
+    def test_release_fires_interrupt(self):
+        sim, gam = make_gam()
+        grants = []
+        gam.request("deblur").add_callback(lambda e: grants.append(e.value))
+        sim.run()
+        cost = gam.release("deblur", grants[0])
+        assert cost == LIGHTWEIGHT_INTERRUPT_CYCLES
+        assert gam.interrupts.count == 1
+
+    def test_os_interrupt_mode(self):
+        sim, gam = make_gam(lightweight_interrupts=False)
+        grants = []
+        gam.request("deblur").add_callback(lambda e: grants.append(e.value))
+        sim.run()
+        assert gam.release("deblur", grants[0]) == OS_INTERRUPT_CYCLES
+
+    def test_total_overhead_accumulates(self):
+        model = InterruptModel(lightweight=True)
+        for _ in range(5):
+            model.record()
+        assert model.total_overhead_cycles == 5 * LIGHTWEIGHT_INTERRUPT_CYCLES

@@ -1,0 +1,79 @@
+"""Fast smoke tests for the figure report generators.
+
+The full-fidelity validation lives in ``benchmarks/``; these tests run
+the generators at tiny tile counts to pin their structure (keys,
+normalization, averaging).
+"""
+
+import pytest
+
+from repro.dse import (
+    fig6_series,
+    fig7_table,
+    fig8_table,
+    fig9_table,
+    fig10_table,
+    format_table,
+)
+from repro.dse.report import RING_LABELS
+from repro.workloads import PAPER_BENCHMARKS
+
+TILES = 2
+
+
+@pytest.fixture(scope="module")
+def fig7():
+    return fig7_table(tiles=TILES, island_counts=(3,))
+
+
+class TestFig6:
+    def test_series_structure(self):
+        series = fig6_series(tiles=TILES, island_counts=(3, 6))
+        assert "Denoise, Crossbar" in series
+        assert "EKF-SLAM, 1-Ring, 32-Byte" in series
+        assert all(len(v) == 2 for v in series.values())
+
+    def test_baseline_normalized_to_one(self):
+        series = fig6_series(tiles=TILES, island_counts=(3, 6))
+        assert series["Denoise, Crossbar"][0] == pytest.approx(1.0)
+        assert series["EKF-SLAM, Crossbar"][0] == pytest.approx(1.0)
+
+
+class TestRingTables:
+    def test_fig7_covers_all_benchmarks_and_rings(self, fig7):
+        assert set(fig7) == {3}
+        assert set(fig7[3]) == set(PAPER_BENCHMARKS)
+        for row in fig7[3].values():
+            assert list(row) == RING_LABELS
+
+    def test_values_positive(self, fig7):
+        for row in fig7[3].values():
+            assert all(v > 0 for v in row.values())
+
+    def test_fig8_and_fig9_share_structure(self):
+        f8 = fig8_table(tiles=TILES, island_counts=(3,))
+        f9 = fig9_table(tiles=TILES, island_counts=(3,))
+        assert set(f8[3]) == set(f9[3]) == set(PAPER_BENCHMARKS)
+
+
+class TestFig10:
+    def test_table_structure(self):
+        table = fig10_table(tiles=TILES)
+        assert set(table) == set(PAPER_BENCHMARKS) | {"Average"}
+        for row in table.values():
+            assert {"speedup", "energy_gain", "speedup_vs_4core"} <= set(row)
+
+    def test_average_is_mean_of_benchmarks(self):
+        table = fig10_table(tiles=TILES)
+        speedups = [table[n]["speedup"] for n in PAPER_BENCHMARKS]
+        assert table["Average"]["speedup"] == pytest.approx(
+            sum(speedups) / len(speedups)
+        )
+
+
+class TestFormatTable:
+    def test_renders_fig10(self):
+        table = fig10_table(tiles=TILES)
+        text = format_table(table, title="Fig 10")
+        assert "Fig 10" in text
+        assert "Segmentation" in text

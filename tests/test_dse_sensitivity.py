@@ -1,0 +1,74 @@
+"""Tests for the sensitivity-analysis module."""
+
+import pytest
+
+from repro.dse.sensitivity import (
+    SensitivityPoint,
+    ring_advantage,
+    stability_report,
+    sweep_field,
+)
+from repro.errors import ConfigError
+from repro.sim import SystemConfig
+from repro.workloads import get_workload
+
+
+@pytest.fixture(scope="module")
+def ekf():
+    return get_workload("EKF-SLAM", tiles=6)
+
+
+class TestRingAdvantage:
+    def test_positive_for_chaining_heavy_workload(self, ekf):
+        advantage = ring_advantage(SystemConfig(n_islands=3), ekf)
+        assert advantage > 1.2
+
+
+class TestSweep:
+    def test_sweep_returns_point_per_value(self, ekf):
+        points = sweep_field("noc_link_bytes_per_cycle", [4.0, 8.0], ekf)
+        assert len(points) == 2
+        assert all(isinstance(p, SensitivityPoint) for p in points)
+        assert points[0].value == 4.0
+
+    def test_ring_advantage_grows_with_wider_noc(self, ekf):
+        """Widening the NoC interface exposes the internal network as the
+        binding resource, so the ring's edge over the proxy crossbar
+        grows — the flip side of the Section 5.5 bottleneck argument."""
+        points = sweep_field("noc_link_bytes_per_cycle", [4.0, 16.0], ekf)
+        assert points[1].metric > points[0].metric
+
+    def test_unsweepable_field_rejected(self, ekf):
+        with pytest.raises(ConfigError):
+            sweep_field("n_islands", [3, 6], ekf)
+
+    def test_empty_values_rejected(self, ekf):
+        with pytest.raises(ConfigError):
+            sweep_field("mc_bandwidth_gbps", [], ekf)
+
+    def test_mc_count_cast_to_int(self, ekf):
+        points = sweep_field("n_memory_controllers", [2, 4], ekf)
+        assert len(points) == 2
+
+
+class TestStabilityReport:
+    def test_stable_when_winner_never_flips(self):
+        points = [SensitivityPoint(1, 1.4), SensitivityPoint(2, 1.1)]
+        report = stability_report(points)
+        assert report["conclusion_stable"]
+        assert report["min"] == 1.1
+        assert report["spread"] == pytest.approx(0.3)
+
+    def test_unstable_when_winner_flips(self):
+        points = [SensitivityPoint(1, 1.4), SensitivityPoint(2, 0.9)]
+        assert not stability_report(points)["conclusion_stable"]
+
+    def test_empty_rejected(self):
+        with pytest.raises(ConfigError):
+            stability_report([])
+
+    def test_paper_conclusion_stable_across_noc_widths(self, ekf):
+        """The 'rings win under chaining' conclusion survives halving and
+        doubling the island NoC interface."""
+        points = sweep_field("noc_link_bytes_per_cycle", [3.0, 6.0, 12.0], ekf)
+        assert stability_report(points)["conclusion_stable"]

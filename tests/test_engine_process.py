@@ -1,0 +1,100 @@
+"""Unit tests for generator-based processes."""
+
+import pytest
+
+from repro.engine import Simulator
+from repro.errors import SimulationError
+
+
+def test_process_waits_on_timeouts():
+    sim = Simulator()
+    trace = []
+
+    def body():
+        trace.append(("start", sim.now))
+        yield sim.timeout(3.0)
+        trace.append(("mid", sim.now))
+        yield sim.timeout(2.0)
+        trace.append(("end", sim.now))
+
+    sim.process(body())
+    sim.run()
+    assert trace == [("start", 0.0), ("mid", 3.0), ("end", 5.0)]
+
+
+def test_process_receives_event_value():
+    sim = Simulator()
+    got = []
+
+    def body():
+        value = yield sim.timeout(1.0, "hello")
+        got.append(value)
+
+    sim.process(body())
+    sim.run()
+    assert got == ["hello"]
+
+
+def test_process_completion_is_awaitable():
+    sim = Simulator()
+    results = []
+
+    def child():
+        yield sim.timeout(4.0)
+        return "done"
+
+    def parent():
+        result = yield sim.process(child())
+        results.append((result, sim.now))
+
+    sim.process(parent())
+    sim.run()
+    assert results == [("done", 4.0)]
+
+
+def test_many_processes_interleave_deterministically():
+    sim = Simulator()
+    log = []
+
+    def worker(tag, delay):
+        yield sim.timeout(delay)
+        log.append(tag)
+        yield sim.timeout(delay)
+        log.append(tag)
+
+    for tag, delay in [("a", 2.0), ("b", 3.0), ("c", 2.0)]:
+        sim.process(worker(tag, delay))
+    sim.run()
+    assert log == ["a", "c", "b", "a", "c", "b"]
+
+
+def test_yielding_non_event_raises():
+    sim = Simulator()
+
+    def body():
+        yield 42
+
+    sim.process(body())
+    with pytest.raises(SimulationError):
+        sim.run()
+
+
+def test_non_generator_body_rejected():
+    sim = Simulator()
+    with pytest.raises(SimulationError):
+        sim.process(42)
+
+
+def test_process_starts_asynchronously():
+    """The body must not run inline at spawn time."""
+    sim = Simulator()
+    ran = []
+
+    def body():
+        ran.append(sim.now)
+        yield sim.timeout(0.0)
+
+    sim.process(body())
+    assert ran == []  # not yet
+    sim.run()
+    assert ran == [0.0]

@@ -1,0 +1,90 @@
+"""Unit tests for statistics helpers."""
+
+import math
+
+import pytest
+from hypothesis import given, strategies as st
+
+from repro.engine.stats import Counter, Histogram, StatsRegistry, UtilizationTracker
+
+
+class TestCounter:
+    def test_starts_at_zero_and_accumulates(self):
+        c = Counter("x")
+        c.add()
+        c.add(2.5)
+        assert c.value == 3.5
+
+
+class TestHistogram:
+    def test_empty_histogram_safe(self):
+        h = Histogram()
+        assert h.mean == 0.0
+        assert h.variance == 0.0
+        assert h.count == 0
+
+    def test_mean_min_max(self):
+        h = Histogram()
+        for v in [2.0, 4.0, 6.0]:
+            h.record(v)
+        assert h.mean == pytest.approx(4.0)
+        assert h.min == 2.0
+        assert h.max == 6.0
+
+    @given(st.lists(st.floats(-1e6, 1e6), min_size=2, max_size=50))
+    def test_matches_direct_computation(self, values):
+        h = Histogram()
+        for v in values:
+            h.record(v)
+        mean = sum(values) / len(values)
+        var = sum((v - mean) ** 2 for v in values) / len(values)
+        assert h.mean == pytest.approx(mean, rel=1e-6, abs=1e-6)
+        assert h.variance == pytest.approx(var, rel=1e-6, abs=1e-3)
+        assert h.stddev == pytest.approx(math.sqrt(var), rel=1e-6, abs=1e-3)
+
+
+class TestUtilizationTracker:
+    def test_constant_level(self):
+        u = UtilizationTracker(capacity=4)
+        u.set_level(2, now=0.0)
+        assert u.average(10.0) == pytest.approx(2.0)
+        assert u.average_utilization(10.0) == pytest.approx(0.5)
+
+    def test_step_changes(self):
+        u = UtilizationTracker(capacity=2)
+        u.set_level(1, now=0.0)
+        u.set_level(2, now=5.0)
+        u.set_level(0, now=10.0)
+        # 1*5 + 2*5 + 0*10 = 15 over 20 cycles.
+        assert u.average(20.0) == pytest.approx(0.75)
+        assert u.peak == 2
+        assert u.peak_utilization == pytest.approx(1.0)
+
+    def test_adjust_delta(self):
+        u = UtilizationTracker(capacity=10)
+        u.adjust(+3, now=0.0)
+        u.adjust(-1, now=4.0)
+        assert u.average(8.0) == pytest.approx((3 * 4 + 2 * 4) / 8.0)
+
+    def test_zero_duration(self):
+        u = UtilizationTracker(capacity=1)
+        assert u.average(0.0) == 0.0
+        assert u.average_utilization(0.0) == 0.0
+
+
+class TestStatsRegistry:
+    def test_counter_reuse(self):
+        reg = StatsRegistry()
+        reg.counter("hits").add(3)
+        reg.counter("hits").add(4)
+        assert reg.counter("hits").value == 7
+
+    def test_snapshot(self):
+        reg = StatsRegistry()
+        reg.counter("a").add(1)
+        reg.histogram("lat").record(10.0)
+        reg.histogram("lat").record(20.0)
+        snap = reg.snapshot()
+        assert snap["a"] == 1
+        assert snap["lat.mean"] == pytest.approx(15.0)
+        assert snap["lat.count"] == 2

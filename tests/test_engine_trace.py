@@ -1,0 +1,114 @@
+"""Tests for the tracing subsystem."""
+
+import pytest
+
+from repro.abb import ABBFlowGraph
+from repro.core import TileScheduler
+from repro.engine.trace import TraceRecord, Tracer
+from repro.errors import ConfigError
+from repro.sim import SystemConfig, SystemModel
+
+
+class TestTraceRecord:
+    def test_duration(self):
+        rec = TraceRecord(10.0, 25.0, "a", "compute")
+        assert rec.duration == 15.0
+
+    def test_backwards_span_rejected(self):
+        with pytest.raises(ConfigError):
+            TraceRecord(10.0, 5.0, "a", "compute")
+
+
+class TestTracer:
+    def make_tracer(self):
+        t = Tracer()
+        t.record(0, 10, "abb0", "compute", "t1")
+        t.record(10, 14, "abb0", "writeback")
+        t.record(2, 8, "abb1", "compute", "t2")
+        return t
+
+    def test_query_by_actor_and_kind(self):
+        t = self.make_tracer()
+        assert len(t.by_actor("abb0")) == 2
+        assert len(t.by_kind("compute")) == 2
+        assert t.actors() == ["abb0", "abb1"]
+
+    def test_busy_and_kind_cycles(self):
+        t = self.make_tracer()
+        assert t.busy_cycles() == {"abb0": 14.0, "abb1": 6.0}
+        assert t.kind_cycles() == {"compute": 16.0, "writeback": 4.0}
+
+    def test_hotspots_ranked(self):
+        t = self.make_tracer()
+        assert t.hotspots(1) == [("abb0", 14.0)]
+
+    def test_end_time(self):
+        assert self.make_tracer().end_time() == 14.0
+        assert Tracer().end_time() == 0.0
+
+    def test_len(self):
+        assert len(self.make_tracer()) == 3
+
+
+class TestGantt:
+    def test_rows_per_actor(self):
+        t = Tracer()
+        t.record(0, 50, "x", "compute")
+        t.record(50, 100, "y", "compute")
+        chart = t.gantt(width=20)
+        lines = chart.splitlines()
+        assert len(lines) == 3  # header + 2 actors
+        assert lines[1].startswith("x")
+        assert "#" in lines[1]
+
+    def test_idle_cells_are_dots(self):
+        t = Tracer()
+        t.record(90, 100, "x", "compute")
+        row = t.gantt(width=20).splitlines()[1]
+        assert row.count(".") > row.count("#")
+
+    def test_kind_symbols(self):
+        t = Tracer()
+        t.record(0, 100, "x", "gather")
+        chart = t.gantt(width=20, kind_symbols={"gather": "g"})
+        assert "g" in chart
+
+    def test_empty_trace(self):
+        assert Tracer().gantt() == "(empty trace)"
+
+    def test_narrow_width_rejected(self):
+        with pytest.raises(ConfigError):
+            Tracer().gantt(width=5)
+
+
+class TestSchedulerIntegration:
+    def test_traced_run_produces_spans(self):
+        tracer = Tracer()
+        system = SystemModel(SystemConfig(n_islands=3), tracer=tracer)
+        graph = ABBFlowGraph("g")
+        graph.add_task("a", "poly", 16)
+        graph.add_task("b", "div", 16)
+        graph.add_edge("a", "b")
+        TileScheduler(system, graph, tile_id=0).run()
+        system.sim.run()
+        kinds = {r.kind for r in tracer.records}
+        assert "compute" in kinds
+        assert "gather" in kinds
+        assert "writeback" in kinds
+        # Compute spans exist for both tasks.
+        assert len(tracer.by_kind("compute")) == 2
+
+    def test_tracing_does_not_change_timing(self):
+        def run(tracer):
+            system = SystemModel(SystemConfig(n_islands=3), tracer=tracer)
+            graph = ABBFlowGraph("g")
+            graph.add_task("a", "poly", 64)
+            TileScheduler(system, graph, 0).run()
+            system.sim.run()
+            return system.sim.now
+
+        assert run(None) == run(Tracer())
+
+    def test_untraced_run_records_nothing(self):
+        system = SystemModel(SystemConfig(n_islands=3))
+        assert system.tracer is None

@@ -1,0 +1,34 @@
+"""Golden regression tests.
+
+Exact outputs of a few fixed configurations, pinned to catch
+unintentional model drift.  The simulator is deterministic, so these
+match to full float precision; an *intentional* model change must update
+the golden values (and re-check EXPERIMENTS.md).
+"""
+
+import pytest
+
+from repro.island import NetworkKind, SpmDmaNetworkConfig
+from repro.sim import SystemConfig, run_workload
+from repro.workloads import get_workload
+
+GOLDEN = {
+    ("Denoise", "xbar"): (27292.04666666668, 1193246.7626134404),
+    ("Denoise", "ring"): (26880.30130081302, 1177464.430365832),
+    ("EKF-SLAM", "xbar"): (6599.813333333335, 286974.78352377407),
+    ("EKF-SLAM", "ring"): (4461.926991869917, 195194.66702147876),
+}
+
+NETWORKS = {
+    "xbar": SpmDmaNetworkConfig(),
+    "ring": SpmDmaNetworkConfig(NetworkKind.RING, 32, 2),
+}
+
+
+@pytest.mark.parametrize("name,net", sorted(GOLDEN))
+def test_golden_run(name, net):
+    config = SystemConfig(n_islands=3, network=NETWORKS[net])
+    result = run_workload(config, get_workload(name, tiles=4))
+    cycles, energy = GOLDEN[(name, net)]
+    assert result.total_cycles == pytest.approx(cycles, rel=1e-12)
+    assert result.energy_nj == pytest.approx(energy, rel=1e-12)

@@ -1,0 +1,103 @@
+"""Tests for the pipeline energy model (paper Figures 1-3)."""
+
+import pytest
+
+from repro.errors import ConfigError
+from repro.power.mcpat import (
+    ASIC_COMPUTE_ENERGY_REDUCTION,
+    COMPUTE_COMPONENTS,
+    PIPELINE_BREAKDOWN,
+    PIPELINE_PARAMETERS,
+    PipelineEnergyModel,
+)
+
+
+@pytest.fixture
+def model():
+    return PipelineEnergyModel()
+
+
+class TestFigure2:
+    def test_shares_sum_to_100(self):
+        assert sum(PIPELINE_BREAKDOWN.values()) == pytest.approx(100.0)
+
+    def test_paper_component_values(self, model):
+        assert model.shares["fetch"] == 8.9
+        assert model.shares["miscellaneous"] == 23.7
+        assert model.shares["int_alu"] == 13.8
+        assert model.shares["memory"] == 10.1
+
+    def test_compute_fraction_is_about_26_percent(self, model):
+        # Paper: "actual compute units ... account for only 26%".
+        assert model.compute_fraction() == pytest.approx(0.257, abs=0.005)
+
+    def test_memory_fraction_is_about_10_percent(self, model):
+        assert model.memory_fraction() == pytest.approx(0.101, abs=0.001)
+
+    def test_overhead_fraction_is_about_64_percent(self, model):
+        # Paper: "the majority of the energy consumption (i.e. 64%)".
+        assert model.overhead_fraction() == pytest.approx(0.642, abs=0.005)
+
+    def test_fractions_partition_unity(self, model):
+        total = (
+            model.compute_fraction()
+            + model.memory_fraction()
+            + model.overhead_fraction()
+        )
+        assert total == pytest.approx(1.0)
+
+
+class TestFigure3:
+    def test_asic_reduction_is_97_percent(self):
+        assert ASIC_COMPUTE_ENERGY_REDUCTION == 0.97
+
+    def test_residual_compute_below_1_percent(self, model):
+        # Paper: compute units drop to "less than 1% (vs. 26%)".
+        assert model.asic_compute_fraction() < 0.01
+
+    def test_savings_share_about_25_percent(self, model):
+        fig3 = model.with_asic_compute()
+        assert fig3["compute_energy_savings"] == pytest.approx(24.9, abs=0.1)
+
+    def test_fig3_paper_values(self, model):
+        fig3 = model.with_asic_compute()
+        assert fig3["fpu"] == pytest.approx(0.237, abs=0.01)  # paper rounds to 0.4... 0.2
+        assert fig3["int_alu"] == pytest.approx(0.414, abs=0.01)
+        assert fig3["mul_div"] == pytest.approx(0.12, abs=0.01)
+
+    def test_non_compute_components_unchanged(self, model):
+        fig3 = model.with_asic_compute()
+        for name, share in PIPELINE_BREAKDOWN.items():
+            if name not in COMPUTE_COMPONENTS:
+                assert fig3[name] == share
+
+    def test_accelerator_opportunity_about_89_percent(self, model):
+        # Paper: remaining 89% is addressable by accelerator-rich design.
+        assert model.accelerator_addressable_fraction() == pytest.approx(
+            0.89, abs=0.01
+        )
+
+    def test_invalid_reduction_rejected(self, model):
+        with pytest.raises(ConfigError):
+            model.with_asic_compute(reduction=1.5)
+
+
+class TestValidation:
+    def test_shares_must_sum_to_100(self):
+        with pytest.raises(ConfigError):
+            PipelineEnergyModel(shares={"fpu": 10, "int_alu": 10, "mul_div": 10})
+
+    def test_missing_compute_component_rejected(self):
+        with pytest.raises(ConfigError):
+            PipelineEnergyModel(shares={"fetch": 100.0})
+
+
+class TestFigure1Parameters:
+    def test_paper_pipeline_parameters(self):
+        assert PIPELINE_PARAMETERS["fetch_issue_retire_width"] == "4"
+        assert PIPELINE_PARAMETERS["num_integer_alus"] == "3"
+        assert PIPELINE_PARAMETERS["num_fp_alus"] == "2"
+        assert PIPELINE_PARAMETERS["rob_entries"] == "96"
+        assert PIPELINE_PARAMETERS["reservation_station_entries"] == "64"
+        assert "32 KB" in PIPELINE_PARAMETERS["l1_icache"]
+        assert "6 MB" in PIPELINE_PARAMETERS["l2_cache"]

@@ -1,0 +1,62 @@
+"""Tests for per-operation energies and the AES case study (Section 1)."""
+
+import pytest
+
+from repro.errors import ConfigError
+from repro.power.ops import (
+    AES_IMPLEMENTATIONS,
+    OP_ENERGY_TABLE,
+    AESImplementation,
+    OpEnergy,
+    aes_efficiency_gap,
+)
+
+
+class TestOpEnergies:
+    def test_add32_savings_61x(self):
+        assert OP_ENERGY_TABLE["add32"].savings_factor == pytest.approx(61.0)
+
+    def test_mul32_savings_17x(self):
+        assert OP_ENERGY_TABLE["mul32"].savings_factor == pytest.approx(17.14, abs=0.1)
+
+    def test_fp_savings_19x(self):
+        assert OP_ENERGY_TABLE["fp_sp"].savings_factor == pytest.approx(18.75, abs=0.1)
+
+    def test_paper_raw_values(self):
+        assert OP_ENERGY_TABLE["add32"].processor_nj == 0.122
+        assert OP_ENERGY_TABLE["add32"].asic_nj == 0.002
+        assert OP_ENERGY_TABLE["mul32"].processor_nj == 0.120
+        assert OP_ENERGY_TABLE["fp_sp"].asic_nj == 0.008
+
+    def test_asic_clocks(self):
+        assert OP_ENERGY_TABLE["add32"].asic_clock_mhz == 1000
+        assert OP_ENERGY_TABLE["fp_sp"].asic_clock_mhz == 500
+
+    def test_invalid_energy_rejected(self):
+        with pytest.raises(ConfigError):
+            OpEnergy("bad", processor_nj=0.0, asic_nj=0.1, asic_clock_mhz=1000)
+
+
+class TestAESCaseStudy:
+    def test_gap_is_about_3_million(self):
+        gap = aes_efficiency_gap()
+        assert 2.5e6 < gap < 3.5e6
+
+    def test_asic_is_most_efficient(self):
+        eff = {k: v.efficiency_bps_per_w for k, v in AES_IMPLEMENTATIONS.items()}
+        assert max(eff, key=eff.get) == "asic_180nm"
+        assert min(eff, key=eff.get) == "sparc_java"
+
+    def test_paper_throughputs(self):
+        assert AES_IMPLEMENTATIONS["asic_180nm"].throughput_bps == pytest.approx(3.86e9)
+        assert AES_IMPLEMENTATIONS["strongarm"].throughput_bps == pytest.approx(31e6)
+        assert AES_IMPLEMENTATIONS["pentium3"].power_w == pytest.approx(41.4)
+        assert AES_IMPLEMENTATIONS["sparc_java"].throughput_bps == 450
+
+    def test_unknown_implementation_rejected(self):
+        with pytest.raises(ConfigError):
+            aes_efficiency_gap(best="tpu")
+
+    def test_invalid_implementation_rejected(self):
+        with pytest.raises(ConfigError):
+            AESImplementation("bad", throughput_bps=-1, power_w=1)

@@ -1,0 +1,223 @@
+"""Tests for the numpy reference kernels: each benchmark's mathematical
+contract must hold on synthetic data."""
+
+import numpy as np
+import pytest
+
+from repro.errors import ConfigError
+from repro.workloads.reference import (
+    REFERENCE_KERNELS,
+    deblur_step,
+    denoise_step,
+    disparity_block_match,
+    ekf_update,
+    gaussian_psf,
+    initial_level_set,
+    particle_filter_step,
+    registration_step,
+    segmentation_step,
+    stereo_pair,
+    synthetic_image,
+    total_variation,
+    _convolve2d_same,
+)
+
+
+class TestSyntheticData:
+    def test_image_positive_and_deterministic(self):
+        a = synthetic_image(16, seed=1)
+        b = synthetic_image(16, seed=1)
+        assert np.array_equal(a, b)
+        assert np.all(a > 0)
+
+    def test_psf_normalized(self):
+        assert gaussian_psf(5, 1.0).sum() == pytest.approx(1.0)
+
+    def test_psf_even_size_rejected(self):
+        with pytest.raises(ConfigError):
+            gaussian_psf(4)
+
+    def test_stereo_pair_has_known_shift(self):
+        left, right = stereo_pair(16, shift=2)
+        assert np.allclose(np.roll(left, -2, axis=1), right)
+
+    def test_convolve_identity_kernel(self):
+        image = synthetic_image(12)
+        identity = np.zeros((3, 3))
+        identity[1, 1] = 1.0
+        assert np.allclose(_convolve2d_same(image, identity), image)
+
+
+class TestDeblur:
+    def test_flux_approximately_preserved(self):
+        """Richardson-Lucy is flux-preserving with a normalized PSF."""
+        truth = synthetic_image(24)
+        psf = gaussian_psf(5, 1.2)
+        observed = _convolve2d_same(truth, psf)
+        estimate = np.full_like(observed, observed.mean())
+        updated = deblur_step(observed, estimate, psf)
+        assert updated.sum() == pytest.approx(observed.sum(), rel=0.02)
+
+    def test_iterations_reduce_error(self):
+        truth = synthetic_image(24)
+        psf = gaussian_psf(5, 1.2)
+        observed = _convolve2d_same(truth, psf)
+        estimate = np.full_like(observed, observed.mean())
+        err0 = np.abs(estimate - truth).mean()
+        for _ in range(10):
+            estimate = deblur_step(observed, estimate, psf)
+        err10 = np.abs(estimate - truth).mean()
+        assert err10 < err0
+
+    def test_negative_data_rejected(self):
+        with pytest.raises(ConfigError):
+            deblur_step(-np.ones((4, 4)), np.ones((4, 4)), gaussian_psf(3))
+
+
+class TestDenoise:
+    def test_reduces_total_variation(self):
+        rng = np.random.default_rng(0)
+        noisy = synthetic_image(24) + rng.normal(0, 0.2, (24, 24))
+        smoothed = denoise_step(noisy, step=0.1)
+        assert total_variation(smoothed) < total_variation(noisy)
+
+    def test_multiple_steps_keep_reducing(self):
+        rng = np.random.default_rng(1)
+        image = synthetic_image(20) + rng.normal(0, 0.3, (20, 20))
+        tvs = [total_variation(image)]
+        for _ in range(5):
+            image = denoise_step(image)
+            tvs.append(total_variation(image))
+        assert all(b < a for a, b in zip(tvs, tvs[1:]))
+
+    def test_unstable_step_rejected(self):
+        with pytest.raises(ConfigError):
+            denoise_step(np.ones((4, 4)), step=0.5)
+
+
+class TestSegmentation:
+    def test_level_set_shrinks_circle(self):
+        """Curvature flow on a flat image shrinks a circular front."""
+        flat = np.ones((32, 32))
+        phi = initial_level_set(32, radius=10.0)
+        area0 = np.sum(phi < 0)
+        for _ in range(20):
+            phi = segmentation_step(phi, flat)
+        assert np.sum(phi < 0) < area0
+
+    def test_edges_slow_the_front(self):
+        phi = initial_level_set(32, radius=10.0)
+        flat = np.ones((32, 32))
+        edgy = synthetic_image(32) * 10
+        moved_flat = np.abs(segmentation_step(phi, flat) - phi).mean()
+        moved_edgy = np.abs(segmentation_step(phi, edgy) - phi).mean()
+        assert moved_edgy < moved_flat
+
+
+class TestRegistration:
+    def test_forces_pull_toward_fixed(self):
+        fixed = synthetic_image(24, seed=2)
+        moving = np.roll(fixed, 1, axis=1)
+        ux, uy = registration_step(fixed, moving)
+        # Applying a fraction of the displacement must reduce the error.
+        def sample(img, ux, uy):
+            y, x = np.mgrid[0 : img.shape[0], 0 : img.shape[1]].astype(float)
+            xs = np.clip(x + ux, 0, img.shape[1] - 1).astype(int)
+            ys = np.clip(y + uy, 0, img.shape[0] - 1).astype(int)
+            return img[ys, xs]
+
+        warped = sample(moving, np.sign(ux), np.sign(uy))
+        base_err = np.abs(fixed - moving).mean()
+        # The force field is informative: error along forces is not worse.
+        assert np.abs(fixed - warped).mean() <= base_err * 1.05
+
+    def test_identical_images_need_no_force(self):
+        fixed = synthetic_image(16)
+        ux, uy = registration_step(fixed, fixed.copy())
+        assert np.allclose(ux, 0) and np.allclose(uy, 0)
+
+
+class TestParticleFilter:
+    def test_weights_normalized(self):
+        rng = np.random.default_rng(5)
+        particles = rng.normal(0, 1, (64, 2))
+        _, weights = particle_filter_step(
+            particles, observation=np.array([0.5, 0.5]), motion=np.zeros(2)
+        )
+        assert weights.sum() == pytest.approx(1.0)
+
+    def test_resampling_concentrates_near_observation(self):
+        rng = np.random.default_rng(6)
+        particles = rng.uniform(-5, 5, (256, 2))
+        observation = np.array([2.0, -1.0])
+        new_particles, _ = particle_filter_step(
+            particles, observation, motion=np.zeros(2)
+        )
+        before = np.linalg.norm(particles - observation, axis=1).mean()
+        after = np.linalg.norm(new_particles - observation, axis=1).mean()
+        assert after < before
+
+    def test_bad_particles_rejected(self):
+        with pytest.raises(ConfigError):
+            particle_filter_step(np.zeros((4, 3)), np.zeros(2), np.zeros(2))
+
+
+class TestEKF:
+    def setup_method(self):
+        self.state = np.array([1.0, 2.0])
+        self.cov = np.eye(2) * 4.0
+        self.h = np.eye(2)
+        self.r = np.eye(2) * 0.25
+
+    def test_update_moves_toward_measurement(self):
+        z = np.array([3.0, 0.0])
+        new_state, _ = ekf_update(self.state, self.cov, z, self.h, self.r)
+        assert np.linalg.norm(new_state - z) < np.linalg.norm(self.state - z)
+
+    def test_covariance_shrinks_and_stays_psd(self):
+        z = np.array([1.5, 1.5])
+        _, new_cov = ekf_update(self.state, self.cov, z, self.h, self.r)
+        assert np.trace(new_cov) < np.trace(self.cov)
+        eigenvalues = np.linalg.eigvalsh(new_cov)
+        assert np.all(eigenvalues > 0)
+        assert np.allclose(new_cov, new_cov.T)
+
+    def test_exact_measurement_dominates_with_tiny_noise(self):
+        z = np.array([10.0, -3.0])
+        tiny_r = np.eye(2) * 1e-9
+        new_state, _ = ekf_update(self.state, self.cov, z, self.h, tiny_r)
+        assert np.allclose(new_state, z, atol=1e-4)
+
+    def test_shape_mismatch_rejected(self):
+        with pytest.raises(ConfigError):
+            ekf_update(self.state, np.eye(3), np.zeros(2), self.h, self.r)
+
+
+class TestDisparity:
+    def test_recovers_known_shift(self):
+        left, right = stereo_pair(32, shift=3)
+        disparity = disparity_block_match(left, right, max_disparity=6)
+        interior = disparity[8:-8, 8:-8]
+        # The dominant recovered disparity is the true shift.
+        values, counts = np.unique(interior, return_counts=True)
+        assert values[np.argmax(counts)] == 3
+
+    def test_identical_pair_gives_zero(self):
+        image = synthetic_image(24)
+        disparity = disparity_block_match(image, image, max_disparity=4)
+        assert np.all(disparity[4:-4, 4:-4] == 0)
+
+    def test_invalid_params_rejected(self):
+        image = synthetic_image(16)
+        with pytest.raises(ConfigError):
+            disparity_block_match(image, image[:8], 4)
+        with pytest.raises(ConfigError):
+            disparity_block_match(image, image, 4, block=4)
+        with pytest.raises(ConfigError):
+            disparity_block_match(image, image, 0)
+
+
+def test_every_paper_benchmark_has_a_reference():
+    from repro.workloads import PAPER_BENCHMARKS
+
+    assert set(REFERENCE_KERNELS) == set(PAPER_BENCHMARKS)

@@ -1,0 +1,64 @@
+"""Tests for unit conversions."""
+
+import pytest
+from hypothesis import given, strategies as st
+
+from repro.errors import ConfigError
+from repro.units import (
+    ACCEL_CLOCK,
+    CORE_CLOCK,
+    Clock,
+    bytes_per_cycle_to_gbps,
+    gbps_to_bytes_per_cycle,
+    mm2,
+)
+
+
+class TestClock:
+    def test_paper_clock_domains(self):
+        assert ACCEL_CLOCK.freq_hz == 1e9
+        assert CORE_CLOCK.freq_hz == 2e9
+
+    def test_cycle_second_round_trip(self):
+        clock = Clock(1e9)
+        assert clock.cycles_to_seconds(1e9) == pytest.approx(1.0)
+        assert clock.seconds_to_cycles(2.0) == pytest.approx(2e9)
+
+    def test_period(self):
+        assert Clock(2e9).period_s == pytest.approx(0.5e-9)
+
+    def test_invalid_frequency_rejected(self):
+        with pytest.raises(ConfigError):
+            Clock(0)
+        with pytest.raises(ConfigError):
+            Clock(-1e9)
+
+    @given(st.floats(1e3, 1e12))
+    def test_round_trip_property(self, cycles):
+        clock = Clock(1.3e9)
+        assert clock.seconds_to_cycles(
+            clock.cycles_to_seconds(cycles)
+        ) == pytest.approx(cycles)
+
+
+class TestBandwidthConversions:
+    def test_paper_memory_controller_rate(self):
+        """10 GB/s at the 1 GHz uncore clock is 10 bytes/cycle."""
+        assert gbps_to_bytes_per_cycle(10.0) == pytest.approx(10.0)
+
+    def test_inverse(self):
+        assert bytes_per_cycle_to_gbps(16.0) == pytest.approx(16.0)
+
+    @given(st.floats(0.1, 1000))
+    def test_round_trip(self, gbps):
+        assert bytes_per_cycle_to_gbps(
+            gbps_to_bytes_per_cycle(gbps)
+        ) == pytest.approx(gbps)
+
+    def test_negative_bandwidth_rejected(self):
+        with pytest.raises(ConfigError):
+            gbps_to_bytes_per_cycle(-1.0)
+
+
+def test_mm2_conversion():
+    assert mm2(1e6) == pytest.approx(1.0)

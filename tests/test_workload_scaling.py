@@ -1,0 +1,51 @@
+"""Tests for workload scaling."""
+
+import pytest
+
+from repro.abb import standard_library
+from repro.errors import ConfigError
+from repro.workloads import get_workload
+from repro.workloads.base import scale_workload
+
+
+@pytest.fixture
+def base():
+    return get_workload("Deblur", tiles=4)
+
+
+class TestScaleWorkload:
+    def test_vector_lengths_scale(self, base):
+        doubled = scale_workload(base, 2.0)
+        for op, scaled_op in zip(base.kernel.ops, doubled.kernel.ops):
+            assert scaled_op.vector_length == op.vector_length * 2
+
+    def test_software_cost_scales(self, base):
+        half = scale_workload(base, 0.5)
+        assert half.sw_cycles_per_tile == pytest.approx(
+            base.sw_cycles_per_tile * 0.5
+        )
+
+    def test_structure_preserved(self, base):
+        lib = standard_library()
+        scaled = scale_workload(base, 3.0)
+        assert len(scaled.build_graph(lib)) == len(base.build_graph(lib))
+        assert scaled.chaining_ratio(lib) == base.chaining_ratio(lib)
+
+    def test_minimum_one_invocation(self, base):
+        tiny = scale_workload(base, 0.001)
+        assert all(op.vector_length >= 1 for op in tiny.kernel.ops)
+
+    def test_name_labels_scale(self, base):
+        assert "(x2)" in scale_workload(base, 2.0).name
+
+    def test_invalid_factor_rejected(self, base):
+        with pytest.raises(ConfigError):
+            scale_workload(base, 0)
+        with pytest.raises(ConfigError):
+            scale_workload(base, -1.0)
+
+    def test_scaled_workload_runs(self, base):
+        from repro.sim import SystemConfig, run_workload
+
+        result = run_workload(SystemConfig(n_islands=3), scale_workload(base, 0.5))
+        assert result.total_cycles > 0
