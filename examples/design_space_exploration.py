@@ -5,9 +5,14 @@ Sweeps island count x SPM<->DMA network for two benchmarks with opposite
 chaining characters, prints the normalized-performance matrix, and
 reports the Pareto front on (performance, compute density) — arriving at
 the paper's conclusion: many small islands with a modest ring network.
+
+The sweep fans out over a process pool (``jobs=4``) and persists every
+simulated point in a content-addressed cache, so re-running this script
+— or widening the space later — only simulates points it has not seen.
+See docs/PERFORMANCE.md for the determinism and invalidation rules.
 """
 
-from repro.dse import DesignSpace, Explorer
+from repro.dse import DesignSpace, Explorer, ResultCache
 from repro.island import NetworkKind, SpmDmaNetworkConfig
 from repro.workloads import get_workload
 
@@ -22,10 +27,16 @@ def main() -> None:
         ),
     )
     explorer = Explorer(
-        [get_workload("Denoise", tiles=12), get_workload("EKF-SLAM", tiles=12)]
+        [get_workload("Denoise", tiles=12), get_workload("EKF-SLAM", tiles=12)],
+        cache=ResultCache(".repro-cache"),
+        jobs=4,
     )
-    print(f"sweeping {space.size()} design points x 2 workloads ...\n")
+    print(f"sweeping {space.size()} design points x 2 workloads (4 jobs) ...\n")
     explorer.sweep(space)
+    print(
+        f"simulated {explorer.simulations_run} points; the rest came "
+        f"from the persistent cache\n"
+    )
 
     for workload_name in ("Denoise", "EKF-SLAM"):
         rows = explorer.results_for(workload_name)

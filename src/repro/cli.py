@@ -5,6 +5,7 @@ Usage::
     python -m repro fig10              # best design vs the 12-core Xeon
     python -m repro fig7 --tiles 16    # ring-vs-crossbar table
     python -m repro run Denoise --islands 24 --network ring2x32
+    python -m repro sweep --jobs 4     # parallel, cached design-space sweep
     python -m repro report             # every figure, in order
 """
 
@@ -158,6 +159,71 @@ def cmd_run(args) -> None:
     )
 
 
+def _parse_csv(text: str, label: str) -> list:
+    """Split a comma-separated CLI value, rejecting empties."""
+    items = [item.strip() for item in text.split(",") if item.strip()]
+    if not items:
+        raise ConfigError(f"no {label} given in {text!r}")
+    return items
+
+
+def cmd_sweep(args) -> None:
+    """Sweep a design space, optionally in parallel and cached."""
+    from repro.dse import DesignSpace, Explorer, ResultCache
+    from repro.sim.serialize import save_results
+
+    network_names = _parse_csv(args.networks, "networks")
+    for name in network_names:
+        if name not in NETWORK_ALIASES:
+            raise ConfigError(
+                f"unknown network {name!r}; choose from {sorted(NETWORK_ALIASES)}"
+            )
+    try:
+        island_counts = tuple(
+            int(n) for n in _parse_csv(args.islands, "island counts")
+        )
+    except ValueError as err:
+        raise ConfigError(f"bad island count: {err}") from None
+    space = DesignSpace(
+        island_counts=island_counts,
+        networks=tuple(
+            PAPER_NETWORKS[NETWORK_ALIASES[name]] for name in network_names
+        ),
+    )
+    workloads = [
+        get_workload(name, tiles=args.tiles)
+        for name in _parse_csv(args.workloads, "workloads")
+    ]
+    cache = None if args.no_cache else ResultCache(args.cache_dir)
+    explorer = Explorer(workloads, cache=cache, jobs=args.jobs)
+    _print(
+        f"sweeping {space.size()} design points x {len(workloads)} "
+        f"workloads ({args.jobs} job{'s' if args.jobs != 1 else ''}, "
+        f"cache {'off' if cache is None else 'at ' + args.cache_dir}) ..."
+    )
+    rows = explorer.sweep(space)
+    for row in rows:
+        _print(
+            f"  {row.workload:<20} {row.config.label():<28} "
+            f"perf {row.result.performance:8.2f}  "
+            f"cycles/tile {row.result.cycles_per_tile:12,.0f}"
+        )
+    _print(f"simulations run: {explorer.simulations_run}/{len(rows)}")
+    if cache is not None:
+        stats = cache.stats()
+        _print(
+            f"cache: {stats['hits']} hits, {stats['misses']} misses, "
+            f"{stats['entries']} entries on disk"
+        )
+    if args.out:
+        save_results(
+            [row.result for row in rows],
+            args.out,
+            note=f"sweep of {space.size()} points",
+        )
+        _print(f"wrote {len(rows)} results to {args.out}")
+
+
 def cmd_topology(args) -> None:
     """Render the mesh floorplan (the Figure 4 view) for N islands."""
     from repro.noc import MeshTopology
@@ -208,6 +274,37 @@ def build_parser() -> argparse.ArgumentParser:
     run.add_argument(
         "--network", default="ring2x32", help=f"one of {sorted(NETWORK_ALIASES)}"
     )
+
+    sweep = add("sweep", cmd_sweep, "sweep a design space (parallel, cached)")
+    sweep.add_argument(
+        "--workloads",
+        default="Denoise,EKF-SLAM",
+        help="comma-separated benchmark names",
+    )
+    sweep.add_argument(
+        "--islands",
+        default="3,6,12,24",
+        help="comma-separated island counts",
+    )
+    sweep.add_argument(
+        "--networks",
+        default=",".join(sorted(NETWORK_ALIASES)),
+        help=f"comma-separated networks from {sorted(NETWORK_ALIASES)}",
+    )
+    sweep.add_argument(
+        "--jobs", type=int, default=1, help="worker processes (1 = serial)"
+    )
+    sweep.add_argument(
+        "--cache-dir",
+        default=".repro-cache",
+        help="persistent result-cache directory",
+    )
+    sweep.add_argument(
+        "--no-cache",
+        action="store_true",
+        help="disable the persistent result cache",
+    )
+    sweep.add_argument("--out", default="", help="write results JSON here")
 
     topo = add("topology", cmd_topology, "render the mesh floorplan", tiles=False)
     topo.add_argument("--islands", type=int, default=24)

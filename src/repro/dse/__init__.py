@@ -1,10 +1,18 @@
 """Design-space exploration harness.
 
 Defines the paper's design space (Section 3.2), sweeps it with the
-simulator, and formats results as the series behind Figures 6-10.
+simulator — serially or across a process pool, backed by a persistent
+content-addressed result cache — and formats results as the series
+behind Figures 6-10.
 """
 
 from repro.dse.space import DesignSpace, design_points
+from repro.dse.cache import (
+    DEFAULT_CACHE_DIR,
+    ResultCache,
+    point_fingerprint,
+)
+from repro.dse.parallel import run_points
 from repro.dse.explorer import Explorer, SweepRow
 from repro.dse.report import (
     fig6_series,
@@ -16,8 +24,10 @@ from repro.dse.report import (
 )
 
 __all__ = [
+    "DEFAULT_CACHE_DIR",
     "DesignSpace",
     "Explorer",
+    "ResultCache",
     "SweepRow",
     "design_points",
     "fig6_series",
@@ -26,4 +36,6 @@ __all__ = [
     "fig9_table",
     "fig10_table",
     "format_table",
+    "point_fingerprint",
+    "run_points",
 ]

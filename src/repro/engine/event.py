@@ -17,7 +17,14 @@ class Event:
     *trigger* at the current simulation time, at which point all registered
     callbacks run (in registration order) and late callbacks run
     immediately.
+
+    Events are the most-allocated objects in a simulation (every
+    transfer, timeout and resource grant creates one), so the class is
+    ``__slots__``-based to cut per-instance memory and attribute-lookup
+    cost on the hot path.
     """
+
+    __slots__ = ("sim", "value", "_triggered", "_scheduled", "_callbacks")
 
     def __init__(self, sim: "Simulator") -> None:
         self.sim = sim
@@ -56,6 +63,8 @@ class Event:
 
 class Timeout(Event):
     """An event that fires a fixed delay after creation."""
+
+    __slots__ = ("delay",)
 
     def __init__(self, sim: "Simulator", delay: float, value: object = None) -> None:
         if delay < 0:

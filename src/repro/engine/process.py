@@ -21,6 +21,8 @@ if typing.TYPE_CHECKING:  # pragma: no cover - import cycle guard
 class Process(Event):
     """A running coroutine inside the simulation."""
 
+    __slots__ = ("_generator",)
+
     def __init__(self, sim: "Simulator", generator: typing.Generator) -> None:
         super().__init__(sim)
         if not hasattr(generator, "send"):

@@ -25,6 +25,8 @@ class Resource:
     holder must call ``release()`` exactly once per grant.
     """
 
+    __slots__ = ("sim", "capacity", "in_use", "_waiters")
+
     def __init__(self, sim: "Simulator", capacity: int = 1) -> None:
         if capacity < 1:
             raise ConfigError(f"resource capacity must be >= 1, got {capacity}")
@@ -66,6 +68,8 @@ class Resource:
 
 class Store:
     """An unbounded FIFO queue of items with blocking ``get``."""
+
+    __slots__ = ("sim", "_items", "_getters")
 
     def __init__(self, sim: "Simulator") -> None:
         self.sim = sim
@@ -172,6 +176,8 @@ class AllOf(Event):
 
     The value is the list of child values in the order given.
     """
+
+    __slots__ = ("_pending", "_values")
 
     def __init__(self, sim: "Simulator", events: typing.Sequence[Event]) -> None:
         super().__init__(sim)

@@ -50,15 +50,29 @@ class Simulator:
         """Execute events until the queue drains or ``until`` is reached.
 
         Returns the final simulation time.
+
+        The event loop is the hottest code in any simulation, so heap
+        operations and the clock write are localized: ``heappop`` and
+        the heap list are bound once outside the loop, and entries are
+        popped directly rather than peeked-then-popped in the common
+        no-deadline case.
         """
-        while self._heap:
-            time, _seq, callback = self._heap[0]
-            if until is not None and time > until:
+        heap = self._heap
+        heappop = heapq.heappop
+        if until is None:
+            while heap:
+                entry = heappop(heap)
+                self.now = entry[0]
+                entry[2]()
+            return self.now
+        while heap:
+            time = heap[0][0]
+            if time > until:
                 self.now = until
                 return self.now
-            heapq.heappop(self._heap)
+            entry = heappop(heap)
             self.now = time
-            callback()
+            entry[2]()
         return self.now
 
     def peek(self) -> typing.Optional[float]:

@@ -4,9 +4,12 @@ from repro.sim.system import SystemConfig, SystemModel, distribute_mix
 from repro.sim.results import SimResult
 from repro.sim.run import run_consolidated, run_workload
 from repro.sim.metrics import geomean, normalize_to
+from repro.sim.fingerprint import canonical_value, digest
 
 __all__ = [
     "SimResult",
+    "canonical_value",
+    "digest",
     "SystemConfig",
     "SystemModel",
     "distribute_mix",

@@ -136,6 +136,20 @@ class SystemConfig:
         """Short label, e.g. ``"24 Islands / 2-Ring, 32-Byte"``."""
         return f"{self.n_islands} Islands / {self.network.label()}"
 
+    def fingerprint(self) -> str:
+        """Stable SHA-256 content address covering *every* config field.
+
+        Built by canonicalizing each declared dataclass field (nested
+        dataclasses, enums, dicts and the allocation-policy callable
+        included), so any single-field change — and any field added to
+        this class in the future — produces a different fingerprint.
+        This is the config component of the DSE result-cache key; see
+        :mod:`repro.sim.fingerprint`.
+        """
+        from repro.sim.fingerprint import digest
+
+        return digest(self)
+
 
 class SystemModel:
     """A fully wired accelerator-rich system ready to execute tiles."""

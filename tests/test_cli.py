@@ -9,7 +9,7 @@ class TestParser:
     def test_all_subcommands_present(self):
         parser = build_parser()
         text = parser.format_help()
-        for command in ("fig2", "fig3", "ops", "fig6", "fig7", "fig8", "fig9", "fig10", "run", "report"):
+        for command in ("fig2", "fig3", "ops", "fig6", "fig7", "fig8", "fig9", "fig10", "run", "sweep", "report"):
             assert command in text
 
     def test_requires_subcommand(self):
@@ -51,6 +51,47 @@ class TestCommands:
     def test_run_rejects_unknown_workload(self):
         with pytest.raises(SystemExit):
             main(["run", "Linpack"])
+
+    def test_sweep_command_with_cache(self, capsys, tmp_path):
+        argv = [
+            "sweep",
+            "--workloads", "Denoise",
+            "--islands", "3",
+            "--networks", "crossbar,ring2x32",
+            "--tiles", "2",
+            "--jobs", "1",
+            "--cache-dir", str(tmp_path / "cache"),
+        ]
+        assert main(argv) == 0
+        out = capsys.readouterr().out
+        assert "simulations run: 2/2" in out
+        # Second invocation is served entirely from the persistent cache.
+        assert main(argv) == 0
+        out = capsys.readouterr().out
+        assert "simulations run: 0/2" in out
+        assert "2 hits" in out
+
+    def test_sweep_no_cache_and_out(self, capsys, tmp_path):
+        out_path = tmp_path / "results.json"
+        assert main([
+            "sweep",
+            "--workloads", "Denoise",
+            "--islands", "3",
+            "--networks", "crossbar",
+            "--tiles", "2",
+            "--no-cache",
+            "--out", str(out_path),
+        ]) == 0
+        assert out_path.exists()
+        assert "cache:" not in capsys.readouterr().out
+
+    def test_sweep_rejects_unknown_network(self, capsys):
+        assert main(["sweep", "--networks", "torus", "--tiles", "2"]) == 1
+        assert "unknown network" in capsys.readouterr().err
+
+    def test_sweep_rejects_bad_islands(self, capsys):
+        assert main(["sweep", "--islands", "three", "--tiles", "2"]) == 1
+        assert "bad island count" in capsys.readouterr().err
 
     def test_fig10_small(self, capsys):
         assert main(["fig10", "--tiles", "2"]) == 0

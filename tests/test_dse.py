@@ -86,6 +86,48 @@ class TestExplorer:
             ex.best_by(lambda r: r.performance)
 
 
+class TestParetoAlgorithms:
+    def test_sorted_2d_matches_all_pairs_on_random_rows(self):
+        """Regression: the O(n log n) 2-metric path must agree with the
+        brute-force all-pairs definition, ties and duplicates included."""
+        import random
+
+        from repro.dse.explorer import (
+            _pareto_indices_2d,
+            _pareto_indices_generic,
+        )
+
+        rng = random.Random(42)
+        for _trial in range(25):
+            n = rng.randrange(1, 80)
+            # Coarse integer grid: plenty of ties and exact duplicates.
+            values = [
+                (float(rng.randrange(6)), float(rng.randrange(6)))
+                for _ in range(n)
+            ]
+            assert _pareto_indices_2d(values) == _pareto_indices_generic(
+                values
+            )
+        continuous = [(rng.random(), rng.random()) for _ in range(300)]
+        assert _pareto_indices_2d(continuous) == _pareto_indices_generic(
+            continuous
+        )
+
+    def test_three_metric_front_uses_generic_path(self):
+        ex = Explorer([get_workload("Denoise", tiles=2)])
+        ex.sweep(DesignSpace(island_counts=(3, 6)))
+        front = ex.pareto_front(
+            [
+                lambda r: r.performance,
+                lambda r: r.perf_per_area,
+                lambda r: r.perf_per_energy,
+            ]
+        )
+        assert front
+        best = ex.best_by(lambda r: r.performance)
+        assert any(row.result is best.result for row in front)
+
+
 class TestFormatTable:
     def test_renders_rows_and_columns(self):
         table = {"Denoise": {"perf": 1.0, "area": 2.5}, "EKF": {"perf": 0.5, "area": 1.0}}

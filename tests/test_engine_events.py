@@ -100,3 +100,21 @@ def test_event_triggered_flag():
     event.succeed()
     sim.run()
     assert event.triggered
+
+
+def test_hot_path_classes_are_slotted():
+    """Event-loop objects are allocated per transfer/grant; they must
+    stay ``__slots__``-based (no per-instance ``__dict__``)."""
+    from repro.engine import AllOf, Resource, Store
+
+    sim = Simulator()
+    instances = [
+        sim.event(),
+        sim.timeout(1.0),
+        sim.process(x for x in []),
+        Resource(sim),
+        Store(sim),
+        AllOf(sim, []),
+    ]
+    for obj in instances:
+        assert not hasattr(obj, "__dict__"), type(obj).__name__
