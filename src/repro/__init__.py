@@ -44,6 +44,7 @@ from repro.errors import (
     ReproError,
     SimulationError,
 )
+from repro.faults import FaultInjector, FaultSpec, FaultStats, parse_fault_spec
 from repro.island import (
     Island,
     IslandConfig,
@@ -64,6 +65,9 @@ __all__ = [
     "AllocationError",
     "ConfigError",
     "DecompositionError",
+    "FaultInjector",
+    "FaultSpec",
+    "FaultStats",
     "GlobalAcceleratorManager",
     "Island",
     "IslandConfig",
@@ -87,6 +91,7 @@ __all__ = [
     "minimum_abb_set",
     "paper_baseline_config",
     "paper_suite",
+    "parse_fault_spec",
     "run_arc",
     "run_camel",
     "run_charm",

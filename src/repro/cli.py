@@ -14,6 +14,7 @@ from __future__ import annotations
 import argparse
 import sys
 import typing
+from dataclasses import replace
 
 from repro.arch.presets import PAPER_NETWORKS
 from repro.cmp import compare_to_cmp, xeon_e5_2420
@@ -26,6 +27,7 @@ from repro.dse import (
 )
 from repro.dse.plots import hbar_chart, line_series
 from repro.errors import ConfigError, ReproError
+from repro.faults import parse_fault_spec
 from repro.power import OP_ENERGY_TABLE, PipelineEnergyModel, aes_efficiency_gap
 from repro.sim import SystemConfig, run_workload
 from repro.workloads import PAPER_BENCHMARKS, get_workload
@@ -138,10 +140,13 @@ def cmd_run(args) -> None:
             f"unknown network {args.network!r}; choose from "
             f"{sorted(NETWORK_ALIASES)}"
         )
+    fault_spec = parse_fault_spec(args.faults) if args.faults else None
     config = SystemConfig(
         n_islands=args.islands,
         network=PAPER_NETWORKS[NETWORK_ALIASES[args.network]],
     )
+    if fault_spec is not None:
+        config = replace(config, faults=fault_spec, fault_seed=args.fault_seed)
     workload = get_workload(args.workload, tiles=args.tiles)
     result = run_workload(config, workload)
     _print(f"{workload.name} on {config.label()}")
@@ -157,6 +162,21 @@ def cmd_run(args) -> None:
         f"  vs {comparison.cmp_name}: {comparison.speedup:.1f}X speedup, "
         f"{comparison.energy_gain:.1f}X energy gain"
     )
+    if fault_spec is not None and fault_spec.enabled:
+        clean = run_workload(replace(config, faults=type(fault_spec)()), workload)
+        _print(
+            f"  faults           {fault_spec.label()} "
+            f"(seed {args.fault_seed})"
+        )
+        _print(
+            f"  degradation      {result.failed_abbs} ABBs failed, "
+            f"{result.dma_stalls} DMA stalls, {result.dma_retries} DMA "
+            f"retries, {result.fallback_tiles}/{result.tiles} tiles used "
+            f"software fallback"
+        )
+        _print(
+            f"  slowdown         {result.slowdown_vs(clean):.2f}X vs clean run"
+        )
 
 
 def _parse_csv(text: str, label: str) -> list:
@@ -273,6 +293,20 @@ def build_parser() -> argparse.ArgumentParser:
     run.add_argument("--islands", type=int, default=24)
     run.add_argument(
         "--network", default="ring2x32", help=f"one of {sorted(NETWORK_ALIASES)}"
+    )
+    run.add_argument(
+        "--faults",
+        default="",
+        help=(
+            "fault-injection spec, e.g. 'abb:0.25,dma:0.1,noc:0.2' "
+            "(see docs/ROBUSTNESS.md)"
+        ),
+    )
+    run.add_argument(
+        "--fault-seed",
+        type=int,
+        default=0,
+        help="seed for fault draws; same spec + seed reproduces bit-identical runs",
     )
 
     sweep = add("sweep", cmd_sweep, "sweep a design space (parallel, cached)")

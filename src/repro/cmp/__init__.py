@@ -9,6 +9,7 @@ power.
 """
 
 from repro.cmp.cpu import CoreModel
+from repro.cmp.fallback import SoftwareFallbackModel
 from repro.cmp.multicore import MulticoreModel
 from repro.cmp.xeon import XEON_E5405, XEON_E5_2420, xeon_e5405, xeon_e5_2420
 from repro.cmp.compare import compare_to_cmp, ComparisonResult
@@ -17,6 +18,7 @@ __all__ = [
     "ComparisonResult",
     "CoreModel",
     "MulticoreModel",
+    "SoftwareFallbackModel",
     "XEON_E5405",
     "XEON_E5_2420",
     "compare_to_cmp",

@@ -1,0 +1,61 @@
+"""Software-fallback execution model for degraded platforms.
+
+ARC's GAM feeds wait-time estimates back to the cores so a core can
+decide to run a kernel in software instead of queueing (Section 2); the
+same decision applies when fault injection takes the last operational
+ABB of a type out of service.  This module prices that fallback: a task
+that cannot be composed in hardware runs its invocations on a host core
+using the calibrated per-invocation software costs, at host-core power.
+
+The simulation clock is the accelerator/uncore clock; the host cores are
+treated as running at the same rate, which keeps the model simple and
+errs conservatively (a faster core clock would only shrink the reported
+degradation).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+from repro.cmp.cpu import CoreModel
+from repro.errors import ConfigError
+from repro.workloads.base import SOFTWARE_CYCLES_PER_INVOCATION
+
+#: Per-invocation software cost assumed for ABB types without a
+#: calibrated entry in :data:`SOFTWARE_CYCLES_PER_INVOCATION`.
+DEFAULT_SOFTWARE_CYCLES_PER_INVOCATION = 100.0
+
+
+@dataclass(frozen=True)
+class SoftwareFallbackModel:
+    """Prices running one flow-graph task on a host core.
+
+    Attributes:
+        core: The host core executing fallback work.
+        cycles_per_invocation: Calibrated software cost table by ABB
+            type (defaults to the shared workload table).
+    """
+
+    core: CoreModel
+    cycles_per_invocation: dict = None  # type: ignore[assignment]
+
+    def __post_init__(self) -> None:
+        if self.cycles_per_invocation is None:
+            object.__setattr__(
+                self,
+                "cycles_per_invocation",
+                dict(SOFTWARE_CYCLES_PER_INVOCATION),
+            )
+
+    def task_cycles(self, abb_type: str, invocations: int) -> float:
+        """Core cycles to run ``invocations`` of one ABB type in software."""
+        if invocations < 0:
+            raise ConfigError("invocations must be non-negative")
+        per_invocation = self.cycles_per_invocation.get(
+            abb_type, DEFAULT_SOFTWARE_CYCLES_PER_INVOCATION
+        )
+        return invocations * per_invocation
+
+    def energy_nj(self, cycles: float) -> float:
+        """Energy one core burns over ``cycles`` of fallback execution."""
+        return self.core.energy_j(cycles) * 1e9

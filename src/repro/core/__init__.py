@@ -14,7 +14,7 @@
 """
 
 from repro.core.gam import GlobalAcceleratorManager, InterruptModel
-from repro.core.composer import AcceleratorBlockComposer
+from repro.core.composer import SOFTWARE_FALLBACK, AcceleratorBlockComposer
 from repro.core.allocation import (
     AllocationPolicy,
     first_fit,
@@ -25,6 +25,7 @@ from repro.core.scheduler import TileScheduler
 from repro.core.virtualization import VirtualAccelerator
 
 __all__ = [
+    "SOFTWARE_FALLBACK",
     "AcceleratorBlockComposer",
     "AllocationPolicy",
     "GlobalAcceleratorManager",

@@ -10,6 +10,8 @@ from __future__ import annotations
 
 import typing
 
+from repro.errors import AllocationError
+
 if typing.TYPE_CHECKING:  # pragma: no cover - import cycle guard
     from repro.island.island import Island
 
@@ -18,6 +20,20 @@ if typing.TYPE_CHECKING:  # pragma: no cover - import cycle guard
 AllocationPolicy = typing.Callable[
     [typing.Sequence["Island"], typing.Optional[int], int], typing.List[int]
 ]
+
+
+def _require_islands(islands: typing.Sequence["Island"]) -> None:
+    """Reject the degenerate empty platform with a clear error.
+
+    Without this guard ``round_robin`` died with a bare
+    ``ZeroDivisionError`` (``serial % 0``) while the other policies
+    silently returned an empty order; all three now fail the same way.
+    """
+    if not islands:
+        raise AllocationError(
+            "allocation policy invoked with an empty island list; "
+            "the platform has no islands to place work on"
+        )
 
 
 def locality_then_load_balance(
@@ -31,6 +47,7 @@ def locality_then_load_balance(
     resides) is tried first; the rest are ordered by current busy
     fraction so work spreads across islands.
     """
+    _require_islands(islands)
     order = sorted(
         range(len(islands)),
         key=lambda i: (islands[i].busy_fraction(), i),
@@ -47,6 +64,7 @@ def first_fit(
     serial: int,
 ) -> list[int]:
     """No load balancing: always scan islands in index order."""
+    _require_islands(islands)
     return list(range(len(islands)))
 
 
@@ -56,6 +74,7 @@ def round_robin(
     serial: int,
 ) -> list[int]:
     """Rotate the starting island with each request; ignores locality."""
+    _require_islands(islands)
     n = len(islands)
     start = serial % n
     return [(start + i) % n for i in range(n)]

@@ -9,6 +9,14 @@ The ABC here is the allocation authority of the simulated system: every
 task asks it for an ABB of the right type and receives a :class:`Grant`
 naming ``(island, slot)``, possibly after waiting FIFO for one to free
 up.
+
+Under fault injection the ABC is also the graceful-degradation
+authority: failed slots are skipped (virtual accelerators re-compose
+from survivors automatically, since every allocation re-runs the
+policy), and when a hard failure removes the *last* operational slot of
+a type the ABC resolves affected requests — queued or new — with
+:data:`SOFTWARE_FALLBACK` instead of deadlocking, mirroring ARC's GAM
+wait-time-feedback decision to run in software.
 """
 
 from __future__ import annotations
@@ -22,6 +30,11 @@ from repro.engine import Event, Simulator
 from repro.engine.stats import Histogram
 from repro.errors import AllocationError, ConfigError
 from repro.island.island import Island
+
+#: Sentinel value a :meth:`AcceleratorBlockComposer.request` event fires
+#: with when no operational ABB of the requested type remains anywhere on
+#: the platform; the caller must run the task in software on the cores.
+SOFTWARE_FALLBACK = "software-fallback"
 
 
 @dataclass(frozen=True)
@@ -69,10 +82,22 @@ class AcceleratorBlockComposer:
         self.wait_cycles = Histogram("abc.wait")
         self.total_grants = 0
         self.total_queued = 0
+        self.fallback_grants = 0
 
     # ------------------------------------------------------------ internals
     def _type_exists(self, type_name: str) -> bool:
         return any(island.slots_of_type(type_name) for island in self.islands)
+
+    def _type_operational(self, type_name: str) -> bool:
+        """Whether any non-failed slot of a type survives anywhere.
+
+        A busy operational slot counts: it will free up and serve queued
+        requests.  Only when every slot of the type has hard-failed is
+        hardware composition impossible.
+        """
+        return any(
+            island.operational_slots(type_name) for island in self.islands
+        )
 
     def _try_allocate(
         self, type_name: str, preferred: typing.Optional[int]
@@ -98,6 +123,9 @@ class AcceleratorBlockComposer:
 
         The returned event fires with a :class:`Grant` once a block has
         been allocated; the caller must eventually :meth:`release` it.
+        If hard failures have taken every slot of the type out of
+        service, the event instead fires immediately with
+        :data:`SOFTWARE_FALLBACK` and the caller runs in software.
         """
         if not self._type_exists(type_name):
             raise AllocationError(
@@ -105,6 +133,10 @@ class AcceleratorBlockComposer:
                 f"the platform cannot compose this graph"
             )
         event = Event(self.sim)
+        if not self._type_operational(type_name):
+            self.fallback_grants += 1
+            event.succeed(SOFTWARE_FALLBACK)
+            return event
         grant = self._try_allocate(type_name, preferred_island)
         if grant is not None:
             self.total_grants += 1
@@ -136,6 +168,14 @@ class AcceleratorBlockComposer:
             remaining: collections.deque[_Waiter] = collections.deque()
             while self._waiters:
                 waiter = self._waiters.popleft()
+                if not self._type_operational(waiter.type_name):
+                    # Every slot of this type hard-failed while the
+                    # request was queued; resolve it to software rather
+                    # than strand it forever.
+                    progress = True
+                    self.fallback_grants += 1
+                    waiter.event.succeed(SOFTWARE_FALLBACK)
+                    continue
                 grant = self._try_allocate(waiter.type_name, waiter.preferred)
                 if grant is None:
                     remaining.append(waiter)
@@ -145,6 +185,16 @@ class AcceleratorBlockComposer:
                     self.wait_cycles.record(self.sim.now - waiter.requested_at)
                     waiter.event.succeed(grant)
             self._waiters = remaining
+
+    def on_slot_failed(self, type_name: str) -> None:
+        """React to an ABB hard failure reported by the fault layer.
+
+        Re-evaluates the wait queue: waiters for a type that just lost
+        its last operational slot are resolved to software fallback
+        immediately (they can never be served in hardware).
+        """
+        if self._waiters:
+            self._drain_waiters()
 
     # -------------------------------------------------------------- queries
     def queue_length(self) -> int:

@@ -16,6 +16,13 @@ input data).  For every task the scheduler:
 The scheduler is deliberately work-conserving and deadlock-free: blocks
 are held only from allocation to writeback, and chained data is parked at
 the producer island until the consumer is placed.
+
+Under fault injection the ABC may answer an allocation request with
+:data:`~repro.core.composer.SOFTWARE_FALLBACK` (every ABB of the type is
+out of service); the scheduler then runs the task on a host core —
+operands fetched from shared memory, results written back so downstream
+consumers (hardware or software) can read them — keeping the tile's
+dataflow intact on a degraded platform.
 """
 
 from __future__ import annotations
@@ -23,7 +30,7 @@ from __future__ import annotations
 import typing
 
 from repro.abb.flowgraph import ABBFlowGraph
-from repro.core.composer import Grant
+from repro.core.composer import Grant, SOFTWARE_FALLBACK
 from repro.engine import AllOf, Event
 from repro.errors import SimulationError
 
@@ -38,9 +45,12 @@ class TileScheduler:
         self.system = system
         self.graph = graph
         self.tile_id = tile_id
-        self.locations: dict[str, tuple[int, int]] = {}
+        # Maps task -> (island, slot); None marks a task that ran in
+        # software (its results live in shared memory, not an SPM).
+        self.locations: dict[str, typing.Optional[tuple[int, int]]] = {}
         self._done: dict[str, Event] = {}
         self._task_index = {t.task_id: i for i, t in enumerate(graph.tasks)}
+        self.used_fallback = False
 
     # ---------------------------------------------------------------- run
     def run(self) -> Event:
@@ -67,7 +77,10 @@ class TileScheduler:
                 raise SimulationError(
                     f"producer {producer!r} finished without a recorded location"
                 )
-            island_idx, _slot = self.locations[producer]
+            location = self.locations[producer]
+            if location is None:  # producer ran in software; data is in DRAM
+                continue
+            island_idx, _slot = location
             nbytes = self.graph.edge_bytes(
                 self.graph.edge(producer, task_id), library
             )
@@ -96,11 +109,17 @@ class TileScheduler:
         if producers:
             yield AllOf(system.sim, [self._done[p] for p in producers])
 
-        # 2. Allocate an ABB (may queue inside the ABC).
+        # 2. Allocate an ABB (may queue inside the ABC).  When every ABB
+        # of the type is out of service the ABC answers with the
+        # software-fallback sentinel instead of a grant.
         requested_at = system.sim.now
-        grant: Grant = yield system.abc.request(
+        grant = yield system.abc.request(
             task.abb_type, preferred_island=self._preferred_island(task_id)
         )
+        if grant is SOFTWARE_FALLBACK:
+            yield from self._run_task_software(task_id, task, producers, tag)
+            return
+        assert isinstance(grant, Grant)
         self.locations[task_id] = (grant.island_index, grant.slot)
         island = system.islands[grant.island_index]
         actor = f"island{grant.island_index}.slot{grant.slot}"
@@ -120,8 +139,21 @@ class TileScheduler:
                 )
             )
         for producer in producers:
-            src_island, src_slot = self.locations[producer]
             nbytes = graph.edge_bytes(graph.edge(producer, task_id), library)
+            location = self.locations[producer]
+            if location is None:
+                # Producer ran in software; its results sit in shared
+                # memory and stream in like any memory operand.
+                input_events.append(
+                    system.memory_to_island(
+                        grant.island_index,
+                        grant.slot,
+                        nbytes,
+                        self._stream_id(producer),
+                    )
+                )
+                continue
+            src_island, src_slot = location
             if src_island == grant.island_index:
                 input_events.append(
                     island.chain_local(src_slot, grant.slot, nbytes)
@@ -151,4 +183,74 @@ class TileScheduler:
             )
             self._trace(writeback_start, "writeback", actor, tag)
         system.abc.release(grant, task.invocations)
+        self._done[task_id].succeed(task_id)
+
+    # ---------------------------------------------------- software fallback
+    def _run_task_software(self, task_id: str, task, producers, tag: str):
+        """Run one task on a host core (no hardware composition exists).
+
+        The core fetches every operand from shared memory (chained
+        producers' outputs were either written back by a software
+        producer or are drained from the producer island's SPM first),
+        executes the calibrated software implementation, and writes all
+        results back so any consumer can read them from DRAM.
+        """
+        system = self.system
+        graph = self.graph
+        library = system.library
+        stats = system.fault_stats
+        stats.fallback_tasks += 1
+        if not self.used_fallback:
+            self.used_fallback = True
+            stats.fallback_tiles += 1
+        self.locations[task_id] = None
+
+        requested_at = system.sim.now
+        yield system.fallback_cores.request()
+        actor = "core.sw"
+        if system.sim.now > requested_at:
+            self._trace(requested_at, "alloc_wait", actor, tag)
+
+        # Gather operands: spill chained data parked in producer SPMs to
+        # memory, then charge the core's own memory reads.
+        gather_start = system.sim.now
+        spill_events = []
+        read_bytes = graph.memory_input_bytes(task_id, library)
+        for producer in producers:
+            nbytes = graph.edge_bytes(graph.edge(producer, task_id), library)
+            read_bytes += nbytes
+            location = self.locations[producer]
+            if location is not None:
+                src_island, src_slot = location
+                spill_events.append(
+                    system.island_to_memory(
+                        src_island, src_slot, nbytes, self._stream_id(producer)
+                    )
+                )
+        if spill_events:
+            yield AllOf(system.sim, spill_events)
+        if read_bytes > 0:
+            yield system.memory.access(read_bytes, self._stream_id(task_id))
+        if system.sim.now > gather_start:
+            self._trace(gather_start, "gather", actor, tag)
+
+        # Compute in software at the calibrated per-invocation cost.
+        compute_start = system.sim.now
+        cycles = system.fallback_model.task_cycles(
+            task.abb_type, task.invocations
+        )
+        yield system.sim.timeout(cycles)
+        system.energy.charge(
+            "sw_fallback", system.fallback_model.energy_nj(cycles)
+        )
+        self._trace(compute_start, "sw_compute", actor, tag)
+
+        # Publish results to shared memory for downstream consumers (or
+        # as the final output when this task is a sink).
+        out_bytes = graph.task_output_bytes(task_id, library)
+        if out_bytes > 0:
+            writeback_start = system.sim.now
+            yield system.memory.access(out_bytes, self._stream_id(task_id))
+            self._trace(writeback_start, "writeback", actor, tag)
+        system.fallback_cores.release()
         self._done[task_id].succeed(task_id)

@@ -2,7 +2,10 @@
 
 Axes: number of islands (ABBs fixed system-wide at 120), SPM<->DMA
 network topology (proxy/chaining crossbar, 1-3 rings x 16/32-byte links),
-SPM porting (exact vs doubled), SPM sharing (on/off).
+SPM porting (exact vs doubled), SPM sharing (on/off), and — for
+robustness studies — fault-injection specs and seeds (so degradation
+under ABB failures, DMA faults and NoC degradation is sweepable like any
+other design axis).
 """
 
 from __future__ import annotations
@@ -12,6 +15,7 @@ import typing
 from dataclasses import dataclass
 
 from repro.errors import ConfigError
+from repro.faults import FaultSpec
 from repro.island import NetworkKind, SpmDmaNetworkConfig, SpmPorting
 from repro.sim.system import SystemConfig
 
@@ -21,7 +25,8 @@ class DesignSpace:
     """The cartesian design space to sweep.
 
     Defaults cover the full space the paper explores; narrow any axis to
-    focus a sweep.
+    focus a sweep.  The fault axes default to a single fault-free point,
+    so existing sweeps are unchanged unless faults are asked for.
     """
 
     island_counts: tuple = (3, 6, 12, 24)
@@ -34,12 +39,16 @@ class DesignSpace:
     )
     portings: tuple = (SpmPorting.EXACT,)
     sharings: tuple = (False,)
+    fault_specs: tuple = (FaultSpec(),)
+    fault_seeds: tuple = (0,)
 
     def __post_init__(self) -> None:
         if not self.island_counts or not self.networks:
             raise ConfigError("design space must have islands and networks")
         if not self.portings or not self.sharings:
             raise ConfigError("design space must have porting/sharing options")
+        if not self.fault_specs or not self.fault_seeds:
+            raise ConfigError("design space must have fault specs and seeds")
 
     def size(self) -> int:
         """Number of design points."""
@@ -48,17 +57,26 @@ class DesignSpace:
             * len(self.networks)
             * len(self.portings)
             * len(self.sharings)
+            * len(self.fault_specs)
+            * len(self.fault_seeds)
         )
 
 
 def design_points(space: DesignSpace) -> typing.Iterator[SystemConfig]:
     """Yield a SystemConfig per point, in deterministic sweep order."""
-    for n_islands, network, porting, sharing in itertools.product(
-        space.island_counts, space.networks, space.portings, space.sharings
+    for n_islands, network, porting, sharing, faults, seed in itertools.product(
+        space.island_counts,
+        space.networks,
+        space.portings,
+        space.sharings,
+        space.fault_specs,
+        space.fault_seeds,
     ):
         yield SystemConfig(
             n_islands=n_islands,
             network=network,
             spm_porting=porting,
             spm_sharing=sharing,
+            faults=faults,
+            fault_seed=seed,
         )

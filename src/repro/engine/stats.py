@@ -4,6 +4,8 @@ from __future__ import annotations
 
 import math
 
+from repro.errors import ConfigError
+
 
 class Counter:
     """A named monotonically increasing tally."""
@@ -123,11 +125,27 @@ class StatsRegistry:
         return self.histograms[name]
 
     def snapshot(self) -> dict[str, float]:
-        """Flatten all counters (and histogram means) into one dict."""
+        """Flatten all counters (and histogram means) into one dict.
+
+        A histogram named ``foo`` contributes ``foo.mean`` and
+        ``foo.count``; a counter literally named ``foo.mean`` or
+        ``foo.count`` would silently shadow those derived keys, so the
+        collision is detected and raised instead of losing a value.
+        """
         out: dict[str, float] = {}
         for name, counter in self.counters.items():
             out[name] = counter.value
         for name, histogram in self.histograms.items():
-            out[f"{name}.mean"] = histogram.mean
-            out[f"{name}.count"] = float(histogram.count)
+            for suffix, value in (
+                ("mean", histogram.mean),
+                ("count", float(histogram.count)),
+            ):
+                key = f"{name}.{suffix}"
+                if key in out:
+                    raise ConfigError(
+                        f"stats snapshot key collision: {key!r} is both a "
+                        f"counter and a derived key of histogram {name!r}; "
+                        f"rename one of them"
+                    )
+                out[key] = value
         return out

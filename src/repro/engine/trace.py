@@ -132,7 +132,13 @@ class Tracer:
                 for i in range(lo, hi):
                     cells[i] = symbol
             rows.append(f"{actor:<{label_width}}|{''.join(cells)}|")
-        header = f"{'':<{label_width}} 0{' ' * (width - len(str(int(end))) - 1)}{int(end)}"
+        # Right-align the end-time label after the "0" origin mark; the
+        # padding is clamped at one space so a label wider than the chart
+        # (very large end times) cannot drive it negative and collapse
+        # the header.
+        end_label = str(int(end))
+        padding = max(1, width - len(end_label) - 1)
+        header = f"{'':<{label_width}} 0{' ' * padding}{end_label}"
         return "\n".join([header] + rows)
 
     def __len__(self) -> int:

@@ -15,6 +15,7 @@ from __future__ import annotations
 
 import typing
 
+import repro.faults as faults
 from repro.abb.instance import ABBInstance
 from repro.abb.library import ABBLibrary
 from repro.engine import BandwidthServer, Event, Simulator, UtilizationTracker
@@ -45,6 +46,7 @@ class Island:
         config: IslandConfig,
         library: ABBLibrary,
         energy: typing.Optional[EnergyAccount] = None,
+        fault_injector: typing.Optional["faults.FaultInjector"] = None,
     ) -> None:
         library.validate_mix(config.abb_mix)
         self.sim = sim
@@ -98,6 +100,11 @@ class Island:
         # Sharing lockout bookkeeping (Sec. 5.1): count of neighbours that
         # currently borrow this slot's banks.
         self._neighbor_locks = [0] * len(self.abbs)
+        # Fault state: a failed slot is permanently out of service for
+        # *new* allocations; an in-flight task drains and releases
+        # normally (fail-stop after drain).
+        self.fault_injector = fault_injector
+        self._failed = [False] * len(self.abbs)
         self.abb_tracker = UtilizationTracker(
             capacity=len(self.abbs), name=f"island{island_id}.abbs"
         )
@@ -117,10 +124,13 @@ class Island:
     def slot_usable(self, slot: int) -> bool:
         """Whether a slot can be allocated right now.
 
-        Requires a free ABB, a free SPM group, and — with sharing enabled —
-        that no neighbour has borrowed the slot's banks.
+        Requires an operational (non-failed) slot, a free ABB, a free SPM
+        group, and — with sharing enabled — that no neighbour has
+        borrowed the slot's banks.
         """
         self._check_slot(slot)
+        if self._failed[slot]:
+            return False
         if not self.abbs[slot].is_free or not self.spm_groups[slot].is_free:
             return False
         if self.config.spm_sharing and self._neighbor_locks[slot] > 0:
@@ -130,6 +140,22 @@ class Island:
     def free_slots(self, type_name: str) -> list[int]:
         """Usable slots of a given ABB type."""
         return [s for s in self.slots_of_type(type_name) if self.slot_usable(s)]
+
+    def operational_slots(self, type_name: str) -> list[int]:
+        """Non-failed slots of a type (free *or* busy).
+
+        A busy operational slot will serve again after release, so queued
+        requests for its type can still make progress; a failed slot
+        never will.
+        """
+        return [
+            s for s in self.slots_of_type(type_name) if not self._failed[s]
+        ]
+
+    @property
+    def failed_slot_count(self) -> int:
+        """Number of slots taken out of service by fault injection."""
+        return sum(1 for failed in self._failed if failed)
 
     def busy_fraction(self) -> float:
         """Fraction of slots currently allocated."""
@@ -162,6 +188,22 @@ class Island:
                 self._neighbor_locks[neighbor] -= 1
         self.abb_tracker.adjust(-1, self.sim.now)
 
+    def fail_slot(self, slot: int) -> str:
+        """Take a slot permanently out of service (ABB hard failure).
+
+        Idempotent-safe for planning code: failing an already-failed slot
+        is an error, since the fault plan draws slots without
+        replacement.  Returns the failed slot's ABB type so the caller
+        (the ABC) can re-evaluate queued requests for that type.
+        """
+        self._check_slot(slot)
+        if self._failed[slot]:
+            raise AllocationError(
+                f"island {self.island_id}: slot {slot} already failed"
+            )
+        self._failed[slot] = True
+        return self.abbs[slot].abb_type.name
+
     def _neighbors(self, slot: int) -> list[int]:
         return [n for n in (slot - 1, slot + 1) if 0 <= n < len(self.abbs)]
 
@@ -170,13 +212,43 @@ class Island:
             raise ConfigError(f"slot {slot} out of range")
 
     # ------------------------------------------------------------ data path
+    def _dma_transfer(self, nbytes: float):
+        """Move ``nbytes`` through the DMA engine, faults permitting.
+
+        Without an active DMA fault model this is exactly one transfer.
+        Under injection, each attempt draws an outcome: a *stall* delays
+        the transfer once; a *drop* costs a timeout plus exponential
+        backoff and is retried up to ``dma_max_retries`` times, after
+        which the transfer is forced through (DMA engine reset) so the
+        simulation always makes forward progress.
+        """
+        injector = self.fault_injector
+        if injector is None or not injector.spec.dma_faults_enabled:
+            yield self.dma.transfer(nbytes)
+            return
+        attempt = 0
+        while True:
+            outcome = injector.dma_outcome(self.island_id)
+            if outcome == faults.DMA_STALL:
+                injector.stats.dma_stalls += 1
+                yield self.sim.timeout(injector.spec.dma_stall_cycles)
+            elif outcome == faults.DMA_DROP:
+                if attempt < injector.spec.dma_max_retries:
+                    injector.stats.dma_retries += 1
+                    yield self.sim.timeout(injector.dma_retry_delay(attempt))
+                    attempt += 1
+                    continue
+                injector.stats.dma_forced_recoveries += 1
+            yield self.dma.transfer(nbytes)
+            return
+
     def ingress(self, slot: int, nbytes: float) -> Event:
         """Bring ``nbytes`` from the NoC into a slot's SPM."""
         self._check_slot(slot)
 
         def proc():
             yield self.noc_in.transfer(nbytes)
-            yield self.dma.transfer(nbytes)
+            yield from self._dma_transfer(nbytes)
             yield self.network.dma_to_spm(slot, nbytes)
             self.energy.charge("spm", self.spm_groups[slot].record_write(nbytes))
             return nbytes
@@ -190,7 +262,7 @@ class Island:
         def proc():
             self.energy.charge("spm", self.spm_groups[slot].record_read(nbytes))
             yield self.network.spm_to_dma(slot, nbytes)
-            yield self.dma.transfer(nbytes)
+            yield from self._dma_transfer(nbytes)
             yield self.noc_out.transfer(nbytes)
             return nbytes
 

@@ -50,6 +50,7 @@ class MeshNoC:
         link_bytes_per_cycle: float = DEFAULT_LINK_BYTES_PER_CYCLE,
         energy: typing.Optional[EnergyAccount] = None,
         segment_bytes: typing.Optional[float] = None,
+        fault_injector: typing.Optional[typing.Any] = None,
     ) -> None:
         if link_bytes_per_cycle <= 0:
             raise ConfigError("mesh link bandwidth must be positive")
@@ -62,6 +63,9 @@ class MeshNoC:
         self.link_bytes_per_cycle = link_bytes_per_cycle
         self.energy = energy if energy is not None else EnergyAccount()
         self.segment_bytes = segment_bytes
+        # Fault injection: a deterministic subset of links pays a
+        # multiplied per-hop router latency (see repro.faults).
+        self.fault_injector = fault_injector
         self._links: dict[tuple[tuple[int, int], tuple[int, int]], BandwidthServer] = {}
         self.total_transfers = 0
         self.total_packets = 0
@@ -125,9 +129,23 @@ class MeshNoC:
 
         link_events = [self._link(a, b).transfer(wire_bytes) for a, b in path]
 
+        router_cycles = ROUTER_LATENCY * hops
+        injector = self.fault_injector
+        if injector is not None and injector.spec.noc_degrade_fraction > 0.0:
+            degraded_hops = sum(
+                1 for a, b in path if injector.link_degraded(a, b)
+            )
+            if degraded_hops:
+                injector.stats.noc_degraded_transfers += 1
+                router_cycles += (
+                    ROUTER_LATENCY
+                    * (injector.spec.noc_degrade_factor - 1.0)
+                    * degraded_hops
+                )
+
         def proc():
             yield AllOf(self.sim, link_events)
-            yield self.sim.timeout(ROUTER_LATENCY * hops)
+            yield self.sim.timeout(router_cycles)
             return nbytes
 
         return self.sim.process(proc())

@@ -26,6 +26,12 @@ class SimResult:
     energy_breakdown_nj: dict[str, float] = field(default_factory=dict)
     noc_max_link_utilization: float = 0.0
     memory_bytes: float = 0.0
+    # Degradation metrics (all zero on a fault-free run; see repro.faults).
+    failed_abbs: int = 0
+    dma_stalls: int = 0
+    dma_retries: int = 0
+    fallback_tasks: int = 0
+    fallback_tiles: int = 0
 
     def __post_init__(self) -> None:
         if self.total_cycles <= 0:
@@ -61,6 +67,26 @@ class SimResult:
         """Performance per unit area — compute density (Figure 9)."""
         return self.performance / self.area_mm2
 
+    @property
+    def degraded(self) -> bool:
+        """Whether any injected fault manifested during this run."""
+        return bool(
+            self.failed_abbs
+            or self.dma_stalls
+            or self.dma_retries
+            or self.fallback_tasks
+        )
+
+    def slowdown_vs(self, clean: "SimResult") -> float:
+        """Degraded-vs-clean slowdown: this run's cycles over a clean
+        run's cycles for the same workload (> 1 means slower)."""
+        if clean.workload != self.workload:
+            raise ConfigError(
+                f"slowdown compares runs of one workload, got "
+                f"{self.workload!r} vs {clean.workload!r}"
+            )
+        return self.total_cycles / clean.total_cycles
+
     def summary_row(self) -> dict[str, float]:
         """Flat dict for report tables."""
         return {
@@ -72,4 +98,6 @@ class SimResult:
             "area_mm2": self.area_mm2,
             "abb_util_avg": self.abb_utilization_avg,
             "abb_util_peak": self.abb_utilization_peak,
+            "failed_abbs": float(self.failed_abbs),
+            "fallback_tiles": float(self.fallback_tiles),
         }

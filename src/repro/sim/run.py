@@ -60,6 +60,7 @@ def run_workload(
         )
 
     elapsed = sim.now
+    degradation = system.fault_stats
     return SimResult(
         workload=workload.name,
         config_label=config.label(),
@@ -72,6 +73,11 @@ def run_workload(
         energy_breakdown_nj=system.energy.breakdown(elapsed),
         noc_max_link_utilization=system.noc.max_link_utilization(elapsed),
         memory_bytes=system.memory.total_bytes(),
+        failed_abbs=degradation.failed_abbs,
+        dma_stalls=degradation.dma_stalls,
+        dma_retries=degradation.dma_retries,
+        fallback_tasks=degradation.fallback_tasks,
+        fallback_tiles=degradation.fallback_tiles,
     )
 
 
@@ -119,6 +125,7 @@ def run_consolidated(
         )
     elapsed = sim.now
     label = " + ".join(w.name for w in workloads)
+    degradation = system.fault_stats
     return SimResult(
         workload=label,
         config_label=config.label(),
@@ -131,4 +138,9 @@ def run_consolidated(
         energy_breakdown_nj=system.energy.breakdown(elapsed),
         noc_max_link_utilization=system.noc.max_link_utilization(elapsed),
         memory_bytes=system.memory.total_bytes(),
+        failed_abbs=degradation.failed_abbs,
+        dma_stalls=degradation.dma_stalls,
+        dma_retries=degradation.dma_retries,
+        fallback_tasks=degradation.fallback_tasks,
+        fallback_tiles=degradation.fallback_tiles,
     )

@@ -31,6 +31,11 @@ def result_to_dict(result: SimResult) -> dict:
         "energy_breakdown_nj": dict(result.energy_breakdown_nj),
         "noc_max_link_utilization": result.noc_max_link_utilization,
         "memory_bytes": result.memory_bytes,
+        "failed_abbs": result.failed_abbs,
+        "dma_stalls": result.dma_stalls,
+        "dma_retries": result.dma_retries,
+        "fallback_tasks": result.fallback_tasks,
+        "fallback_tiles": result.fallback_tiles,
         "derived": result.summary_row(),
     }
 
@@ -60,6 +65,11 @@ def result_from_dict(data: typing.Mapping) -> SimResult:
         energy_breakdown_nj=dict(data.get("energy_breakdown_nj", {})),
         noc_max_link_utilization=float(data.get("noc_max_link_utilization", 0.0)),
         memory_bytes=float(data.get("memory_bytes", 0.0)),
+        failed_abbs=int(data.get("failed_abbs", 0)),
+        dma_stalls=int(data.get("dma_stalls", 0)),
+        dma_retries=int(data.get("dma_retries", 0)),
+        fallback_tasks=int(data.get("fallback_tasks", 0)),
+        fallback_tiles=int(data.get("fallback_tiles", 0)),
     )
 
 

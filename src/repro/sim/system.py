@@ -12,11 +12,14 @@ import typing
 from dataclasses import dataclass, field, replace
 
 from repro.abb.library import ABBLibrary, PAPER_ABB_MIX, standard_library
+from repro.cmp.fallback import SoftwareFallbackModel
+from repro.cmp.xeon import XEON_E5_2420
 from repro.core.allocation import AllocationPolicy, locality_then_load_balance
 from repro.core.composer import AcceleratorBlockComposer
-from repro.engine import Event, Simulator
+from repro.engine import Event, Resource, Simulator, Timeout
 from repro.engine.trace import Tracer
 from repro.errors import ConfigError
+from repro.faults import FaultInjector, FaultSpec, FaultStats
 from repro.island import Island, IslandConfig, SpmDmaNetworkConfig, SpmPorting
 from repro.mem import MemorySystem
 from repro.noc import MeshNoC, MeshTopology
@@ -117,6 +120,14 @@ class SystemConfig:
     #: How ABBs are spread over islands: "uniform" (the paper) or
     #: "clustered" (type-pure islands, the ablation alternative).
     distribution: str = "uniform"
+    #: Fault-injection models (ABB hard failure, DMA stall/drop, NoC
+    #: link degradation).  The default spec disables every model, which
+    #: is guaranteed bit-identical to a platform without the fault
+    #: layer.  Covered by :meth:`fingerprint` like every other field.
+    faults: FaultSpec = FaultSpec()
+    #: Seed for every fault draw; the same (faults, fault_seed) pair
+    #: reproduces bit-identical degraded runs.
+    fault_seed: int = 0
 
     def __post_init__(self) -> None:
         if self.n_islands < 1:
@@ -167,6 +178,16 @@ class SystemModel:
         self.energy = EnergyAccount()
         self.tracer = tracer
 
+        # Fault layer: only instantiated when a fault model is active, so
+        # clean configurations schedule no extra events and stay
+        # bit-identical to a platform without the fault plumbing.
+        self.fault_injector: typing.Optional[FaultInjector] = (
+            FaultInjector(config.faults, config.fault_seed)
+            if config.faults.enabled
+            else None
+        )
+        self._clean_fault_stats = FaultStats()
+
         per_island_mix = distribute_mix(
             config.abb_mix, config.n_islands, config.distribution
         )
@@ -180,7 +201,14 @@ class SystemModel:
                 noc_link_bytes_per_cycle=config.noc_link_bytes_per_cycle,
             )
             self.islands.append(
-                Island(self.sim, i, island_config, self.library, self.energy)
+                Island(
+                    self.sim,
+                    i,
+                    island_config,
+                    self.library,
+                    self.energy,
+                    fault_injector=self.fault_injector,
+                )
             )
 
         self.topology = MeshTopology(
@@ -194,6 +222,7 @@ class SystemModel:
             self.topology,
             link_bytes_per_cycle=config.mesh_link_bytes_per_cycle,
             energy=self.energy,
+            fault_injector=self.fault_injector,
         )
         self.memory = MemorySystem(
             self.sim,
@@ -204,12 +233,52 @@ class SystemModel:
         )
         self.abc = AcceleratorBlockComposer(self.sim, self.islands, config.policy)
 
+        # Software-fallback path: host cores that absorb tasks whose ABB
+        # type has no surviving hardware (ARC's wait-time-feedback
+        # decision, forced by hard failure).  The pool is inert unless a
+        # fallback actually occurs.
+        self.fallback_cores = Resource(self.sim, capacity=config.n_cores)
+        self.fallback_model = SoftwareFallbackModel(core=XEON_E5_2420)
+        if self.fault_injector is not None:
+            self._arm_abb_failures()
+
         for island in self.islands:
             self.energy.add_static_power(island.static_power_mw)
         self.energy.add_static_power(
             MESH_ROUTER_STATIC_MW * len(self.topology.nodes)
         )
         self.energy.add_static_power(config.platform_static_mw)
+
+    # ---------------------------------------------------------------- faults
+    @property
+    def fault_stats(self) -> FaultStats:
+        """Degradation counters for this run (zeros when faults are off)."""
+        if self.fault_injector is not None:
+            return self.fault_injector.stats
+        return self._clean_fault_stats
+
+    def _arm_abb_failures(self) -> None:
+        """Schedule the planned ABB hard failures on the simulator.
+
+        Each failure marks the slot out of service (an in-flight task
+        drains first) and notifies the ABC so queued requests for a type
+        with no surviving hardware resolve to software fallback instead
+        of deadlocking.
+        """
+        plan = self.fault_injector.plan_abb_failures(
+            [island.n_slots for island in self.islands]
+        )
+
+        def make_callback(island_index: int, slot: int):
+            def on_fire(_event: Event) -> None:
+                type_name = self.islands[island_index].fail_slot(slot)
+                self.fault_injector.stats.failed_abbs += 1
+                self.abc.on_slot_failed(type_name)
+
+            return on_fire
+
+        for island_index, slot, cycle in plan:
+            Timeout(self.sim, cycle).add_callback(make_callback(island_index, slot))
 
     # ------------------------------------------------------------ data path
     def _mc_node(self, stream_id: int):

@@ -114,6 +114,21 @@ class TestPolicies:
         assert grants[0].island_index != grants[1].island_index
 
 
+class TestEmptyIslandPolicies:
+    @pytest.mark.parametrize(
+        "policy", [locality_then_load_balance, first_fit, round_robin]
+    )
+    def test_policy_rejects_empty_platform(self, policy):
+        with pytest.raises(AllocationError, match="empty island list"):
+            policy([], None, 0)
+
+    def test_round_robin_no_zero_division(self):
+        # Regression: used to die with a bare ZeroDivisionError
+        # (serial % 0) instead of a clear AllocationError.
+        with pytest.raises(AllocationError):
+            round_robin([], None, 3)
+
+
 class TestWaiterDrain:
     def test_fifo_wakeup_order(self):
         sim, islands, abc = make_abc(n_islands=1, mix={"poly": 1})

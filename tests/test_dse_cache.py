@@ -10,6 +10,7 @@ from repro.abb.library import standard_library
 from repro.core.allocation import first_fit
 from repro.dse.cache import ResultCache, library_fingerprint, point_fingerprint
 from repro.errors import ConfigError
+from repro.faults import FaultSpec
 from repro.island import NetworkKind, SpmDmaNetworkConfig, SpmPorting
 from repro.sim.fingerprint import canonical_value, digest
 from repro.sim.run import run_workload
@@ -35,6 +36,8 @@ FIELD_ALTERNATES = {
     "policy": first_fit,
     "platform_static_mw": 44_000.0,
     "distribution": "clustered",
+    "faults": FaultSpec(abb_failure_fraction=0.25),
+    "fault_seed": 7,
 }
 
 

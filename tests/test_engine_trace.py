@@ -76,6 +76,24 @@ class TestGantt:
     def test_empty_trace(self):
         assert Tracer().gantt() == "(empty trace)"
 
+    def test_header_survives_large_end_time(self):
+        # Regression: an end-time label wider than the chart drove the
+        # header padding negative, mangling the first line.
+        t = Tracer()
+        t.record(0, 123_456_789_012_345_678_901.0, "x", "compute")
+        lines = t.gantt(width=12).splitlines()
+        header = lines[0]
+        assert header.rstrip().endswith(str(int(t.end_time())))
+        assert " 0 " in header  # origin mark kept, one-space clamp
+
+    def test_header_right_aligned_for_normal_end_time(self):
+        t = Tracer()
+        t.record(0, 500, "x", "compute")
+        header = t.gantt(width=40).splitlines()[0]
+        assert header.endswith("500")
+        body = t.gantt(width=40).splitlines()[1]
+        assert len(header) <= len(body)
+
     def test_narrow_width_rejected(self):
         with pytest.raises(ConfigError):
             Tracer().gantt(width=5)
