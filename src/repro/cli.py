@@ -244,6 +244,128 @@ def cmd_sweep(args) -> None:
         _print(f"wrote {len(rows)} results to {args.out}")
 
 
+def cmd_serve(args) -> None:
+    """Run a multi-tenant open-loop serving session and report SLOs."""
+    from repro.dse import ResultCache, serve_point_fingerprint
+    from repro.serve import (
+        ADMISSION_POLICIES,
+        AdmissionConfig,
+        ArrivalConfig,
+        ServeConfig,
+        estimate_saturation,
+        make_tenants,
+        run_serve,
+        save_serve_results,
+        trace_from_file,
+    )
+
+    if args.network not in NETWORK_ALIASES:
+        raise ConfigError(
+            f"unknown network {args.network!r}; choose from "
+            f"{sorted(NETWORK_ALIASES)}"
+        )
+    config = SystemConfig(
+        n_islands=args.islands,
+        network=PAPER_NETWORKS[NETWORK_ALIASES[args.network]],
+    )
+    workloads = [
+        get_workload(name, tiles=args.tiles)
+        for name in _parse_csv(args.workloads, "workloads")
+    ]
+    tenant_workloads = [
+        workloads[i % len(workloads)] for i in range(args.tenants)
+    ]
+
+    # Closed-loop anchor: measured saturation throughput of a fair
+    # interleaving, so "--load 0.8" means 80% of measured capacity.
+    saturation = estimate_saturation(config, tenant_workloads)
+    if args.rate > 0:
+        per_tenant_rate = args.rate
+    else:
+        per_tenant_rate = args.load * saturation / args.tenants
+    if args.arrival == "trace":
+        if not args.trace_file:
+            raise ConfigError("--arrival trace needs --trace-file")
+        arrival = trace_from_file(args.trace_file, seed=args.seed)
+    else:
+        arrival = ArrivalConfig(
+            kind=args.arrival,
+            rate_per_mcycle=per_tenant_rate,
+            seed=args.seed,
+        )
+    tenants = make_tenants(args.tenants, workloads, arrival)
+
+    policies = (
+        list(ADMISSION_POLICIES) if args.compare else [args.policy]
+    )
+    cache = None if args.no_cache else ResultCache(args.cache_dir)
+    _print(
+        f"{args.tenants} tenants on {config.label()} | closed-loop "
+        f"saturation {saturation:.1f} req/Mcycle, offering "
+        f"{per_tenant_rate:.1f}/tenant ({args.arrival})"
+    )
+    results = []
+    for policy in policies:
+        admission = AdmissionConfig(
+            policy=policy,
+            wait_bound_cycles=args.wait_bound or None,
+            queue_bound=args.queue_bound,
+        )
+        serve = ServeConfig(
+            tenants=tenants,
+            admission=admission,
+            duration_cycles=args.duration,
+            seed=args.seed,
+        )
+        result = None
+        fingerprint = serve_point_fingerprint(config, serve)
+        if cache is not None:
+            result = cache.get_serve(fingerprint)
+        if result is None:
+            result = run_serve(config, serve)
+            if cache is not None:
+                cache.put_serve(fingerprint, result)
+        results.append(result)
+
+    _print(
+        f"{'policy':<16} {'offered':>8} {'goodput':>8} {'p50':>10} "
+        f"{'p95':>10} {'p99':>10} {'fb%':>6} {'shed%':>6} {'jain':>5}"
+    )
+    for result in results:
+        _print(
+            f"{result.policy:<16} {result.offered_load:8.1f} "
+            f"{result.goodput:8.1f} {result.latency_p50:10,.0f} "
+            f"{result.latency_p95:10,.0f} {result.latency_p99:10,.0f} "
+            f"{result.fallback_rate:6.1%} {result.shed_rate:6.1%} "
+            f"{result.jain_fairness:5.2f}"
+        )
+    _print("")
+    _print(
+        "closed-loop vs open-loop: saturation throughput "
+        f"{saturation:.1f} req/Mcycle has no latency tail; at "
+        f"{per_tenant_rate * args.tenants:.1f} req/Mcycle offered the "
+        f"{results[0].policy} session sustains "
+        f"{results[0].goodput:.1f} with p99 "
+        f"{results[0].latency_p99:,.0f} cycles"
+    )
+    detail = results[-1]
+    _print(f"per-tenant ({detail.policy}):")
+    for tenant in detail.tenants:
+        _print(
+            f"  {tenant.tenant:<6} {tenant.workload:<14} offered "
+            f"{tenant.offered:5d}  p99 {tenant.latency_p99:10,.0f}  "
+            f"hw {tenant.hw_completed:5d}  sw {tenant.sw_fallbacks:4d}  "
+            f"shed {tenant.shed:4d}"
+        )
+    if args.out:
+        save_serve_results(
+            results,
+            args.out,
+            note=f"{args.tenants} tenants, {args.arrival} arrivals",
+        )
+        _print(f"wrote {len(results)} serve results to {args.out}")
+
+
 def cmd_topology(args) -> None:
     """Render the mesh floorplan (the Figure 4 view) for N islands."""
     from repro.noc import MeshTopology
@@ -339,6 +461,82 @@ def build_parser() -> argparse.ArgumentParser:
         help="disable the persistent result cache",
     )
     sweep.add_argument("--out", default="", help="write results JSON here")
+
+    serve = add("serve", cmd_serve, "multi-tenant open-loop serving session")
+    serve.add_argument(
+        "--workloads",
+        default="Denoise",
+        help="comma-separated benchmark names, cycled across tenants",
+    )
+    serve.add_argument(
+        "--tenants", type=int, default=4, help="number of tenants"
+    )
+    serve.add_argument(
+        "--arrival",
+        default="poisson",
+        choices=["poisson", "onoff", "trace"],
+        help="arrival process per tenant",
+    )
+    serve.add_argument(
+        "--rate",
+        type=float,
+        default=0.0,
+        help="offered requests per megacycle per tenant (0 = use --load)",
+    )
+    serve.add_argument(
+        "--load",
+        type=float,
+        default=0.8,
+        help="offered load as a fraction of measured closed-loop saturation",
+    )
+    serve.add_argument(
+        "--trace-file", default="", help="arrival trace file (kind=trace)"
+    )
+    serve.add_argument(
+        "--policy",
+        default="always_hw",
+        choices=["always_hw", "wait_threshold", "shed"],
+        help="admission policy",
+    )
+    serve.add_argument(
+        "--compare",
+        action="store_true",
+        help="run all three policies and compare",
+    )
+    serve.add_argument(
+        "--wait-bound",
+        type=float,
+        default=0.0,
+        help="wait_threshold bound in cycles (0 = the software-path cost)",
+    )
+    serve.add_argument(
+        "--queue-bound",
+        type=int,
+        default=32,
+        help="shed policy queue-depth bound",
+    )
+    serve.add_argument("--seed", type=int, default=0, help="session seed")
+    serve.add_argument(
+        "--duration",
+        type=float,
+        default=2_000_000.0,
+        help="arrival window in cycles",
+    )
+    serve.add_argument("--islands", type=int, default=3)
+    serve.add_argument(
+        "--network", default="ring2x32", help=f"one of {sorted(NETWORK_ALIASES)}"
+    )
+    serve.add_argument(
+        "--cache-dir",
+        default=".repro-cache",
+        help="persistent result-cache directory",
+    )
+    serve.add_argument(
+        "--no-cache",
+        action="store_true",
+        help="disable the persistent result cache",
+    )
+    serve.add_argument("--out", default="", help="write serve results JSON here")
 
     topo = add("topology", cmd_topology, "render the mesh floorplan", tiles=False)
     topo.add_argument("--islands", type=int, default=24)

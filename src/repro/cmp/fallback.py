@@ -56,6 +56,21 @@ class SoftwareFallbackModel:
         )
         return invocations * per_invocation
 
+    def graph_cycles(self, graph) -> float:
+        """Core cycles to run one whole flow-graph instance in software.
+
+        Tasks run sequentially on one core (no chaining, no parallel
+        slots), which is the cost a request pays when the serving
+        frontend's wait-threshold policy sends it down the software
+        path — and therefore also the natural default admission bound:
+        queue for hardware only while the predicted wait still beats
+        doing the work on the core.
+        """
+        return sum(
+            self.task_cycles(task.abb_type, task.invocations)
+            for task in graph.tasks
+        )
+
     def energy_nj(self, cycles: float) -> float:
         """Energy one core burns over ``cycles`` of fallback execution."""
         return self.core.energy_j(cycles) * 1e9

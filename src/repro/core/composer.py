@@ -45,12 +45,15 @@ class Grant:
         island_index: Which island the block sits on.
         slot: Slot index within the island.
         type_name: ABB type of the slot.
+        granted_at: Simulation time the slot was handed out (feeds the
+            ABC's per-type service-time statistics on release).
     """
 
     island_index: int
     slot: int
     type_name: str
     _token: object = field(repr=False, default=None)
+    granted_at: float = 0.0
 
 
 @dataclass
@@ -80,6 +83,7 @@ class AcceleratorBlockComposer:
         self._waiters: collections.deque[_Waiter] = collections.deque()
         self._serial = 0
         self.wait_cycles = Histogram("abc.wait")
+        self.service_cycles = Histogram("abc.service")
         self.total_grants = 0
         self.total_queued = 0
         self.fallback_grants = 0
@@ -110,7 +114,7 @@ class AcceleratorBlockComposer:
                 slot = free[0]
                 token = object()
                 self.islands[island_idx].allocate(slot, token)
-                return Grant(island_idx, slot, type_name, token)
+                return Grant(island_idx, slot, type_name, token, self.sim.now)
         return None
 
     # --------------------------------------------------------------- public
@@ -153,6 +157,7 @@ class AcceleratorBlockComposer:
         """Return a granted slot; retries queued waiters in FIFO order."""
         if not 0 <= grant.island_index < len(self.islands):
             raise ConfigError(f"island index {grant.island_index} out of range")
+        self.service_cycles.record(self.sim.now - grant.granted_at)
         self.islands[grant.island_index].release(
             grant.slot, grant._token, invocations
         )
@@ -162,13 +167,29 @@ class AcceleratorBlockComposer:
         # Retry every waiter in FIFO order until a full pass grants
         # nothing (a release can free neighbours too, under SPM sharing,
         # so one release may unblock several waiters).
+        #
+        # Per-type free counts gate the scan: a waiter whose type has no
+        # free slot left this pass is requeued with a cheap dict lookup
+        # instead of a full policy + slot-scan `_try_allocate` call.
+        # Under the open-loop serving frontend the wait queue can hold
+        # thousands of requests, and the ungated scan made every release
+        # O(waiters x slots) — this is the difference between serving
+        # sessions draining in seconds versus minutes.  `_serial` is
+        # still bumped on gated skips so allocation decisions (which may
+        # consume the serial, e.g. round_robin) are bit-identical to the
+        # ungated scan's.
         progress = True
         while progress and self._waiters:
             progress = False
+            free_count: dict[str, int] = {}
+            operational: dict[str, bool] = {}
             remaining: collections.deque[_Waiter] = collections.deque()
             while self._waiters:
                 waiter = self._waiters.popleft()
-                if not self._type_operational(waiter.type_name):
+                type_name = waiter.type_name
+                if type_name not in operational:
+                    operational[type_name] = self._type_operational(type_name)
+                if not operational[type_name]:
                     # Every slot of this type hard-failed while the
                     # request was queued; resolve it to software rather
                     # than strand it forever.
@@ -176,10 +197,27 @@ class AcceleratorBlockComposer:
                     self.fallback_grants += 1
                     waiter.event.succeed(SOFTWARE_FALLBACK)
                     continue
-                grant = self._try_allocate(waiter.type_name, waiter.preferred)
+                if type_name not in free_count:
+                    free_count[type_name] = self.free_count(type_name)
+                if free_count[type_name] <= 0:
+                    # No slot can serve this waiter; skip the policy
+                    # call but consume its serial so decisions match
+                    # the ungated scan exactly.
+                    self._serial += 1
+                    remaining.append(waiter)
+                    continue
+                grant = self._try_allocate(type_name, waiter.preferred)
                 if grant is None:
+                    # SPM-sharing port conflicts can shrink free slots
+                    # mid-pass; treat the stale count as exhausted.
+                    free_count[type_name] = 0
                     remaining.append(waiter)
                 else:
+                    # A cached count can only overestimate after this
+                    # grant (allocation never frees slots mid-pass), and
+                    # an overestimate merely costs one corrective
+                    # `_try_allocate`, so other types' counts stay.
+                    free_count[type_name] -= 1
                     progress = True
                     self.total_grants += 1
                     self.wait_cycles.record(self.sim.now - waiter.requested_at)
@@ -205,10 +243,40 @@ class AcceleratorBlockComposer:
         """Usable slots of a type across all islands right now."""
         return sum(len(i.free_slots(type_name)) for i in self.islands)
 
-    def estimate_wait(self, type_name: str) -> float:
-        """GAM-style wait feedback for one ABB type."""
+    def operational_count(self, type_name: str) -> int:
+        """Non-failed slots of a type across all islands (busy or free)."""
+        return sum(len(i.operational_slots(type_name)) for i in self.islands)
+
+    def pending_requests(self, type_name: str) -> int:
+        """Queued allocation requests for one type."""
+        return sum(1 for w in self._waiters if w.type_name == type_name)
+
+    def estimate_wait(
+        self, type_name: str, service_hint: typing.Optional[float] = None
+    ) -> float:
+        """GAM-style wait-time feedback for one ABB type.
+
+        Zero when a slot is free.  Otherwise the expected cycles until a
+        slot frees up for a request issued *now*: the queue depth ahead
+        of it plus the in-service blocks, times the observed mean
+        hold time per grant, divided by the number of operational slots
+        (slots drain the queue in parallel).  ``service_hint`` seeds the
+        mean before any release has been observed (e.g. the compiler's
+        cycle estimate); infinite when every slot of the type has
+        hard-failed, since hardware composition can never happen.
+        Monotone in queue depth, which is what makes it usable as an
+        admission signal (see :mod:`repro.serve.frontend`).
+        """
         if self.free_count(type_name) > 0:
             return 0.0
-        ahead = sum(1 for w in self._waiters if w.type_name == type_name)
-        mean_wait = self.wait_cycles.mean or 1.0
-        return (ahead + 1) * mean_wait
+        units = self.operational_count(type_name)
+        if units == 0:
+            return float("inf")
+        mean_service = (
+            self.service_cycles.mean
+            or service_hint
+            or self.wait_cycles.mean
+            or 1.0
+        )
+        ahead = self.pending_requests(type_name) + units
+        return ahead * mean_service / units

@@ -39,12 +39,26 @@ if typing.TYPE_CHECKING:  # pragma: no cover - import cycle guard
 
 
 class TileScheduler:
-    """Runs one flow-graph instance to completion."""
+    """Runs one flow-graph instance to completion.
 
-    def __init__(self, system: "SystemModel", graph: ABBFlowGraph, tile_id: int) -> None:
+    ``tenant`` is an optional tenancy tag: under the multi-tenant
+    serving frontend (:mod:`repro.serve`) every request carries its
+    tenant's name so trace records attribute queueing and compute to the
+    tenant that caused them.  Single-workload runs leave it empty and
+    behave exactly as before.
+    """
+
+    def __init__(
+        self,
+        system: "SystemModel",
+        graph: ABBFlowGraph,
+        tile_id: int,
+        tenant: str = "",
+    ) -> None:
         self.system = system
         self.graph = graph
         self.tile_id = tile_id
+        self.tenant = tenant
         # Maps task -> (island, slot); None marks a task that ran in
         # software (its results live in shared memory, not an SPM).
         self.locations: dict[str, typing.Optional[tuple[int, int]]] = {}
@@ -103,7 +117,8 @@ class TileScheduler:
         library = system.library
         task = graph.task(task_id)
         producers = graph.predecessors(task_id)
-        tag = f"t{self.tile_id}.{task_id}"
+        prefix = f"{self.tenant}." if self.tenant else ""
+        tag = f"{prefix}t{self.tile_id}.{task_id}"
 
         # 1. Wait for chained producers.
         if producers:

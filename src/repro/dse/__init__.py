@@ -11,6 +11,7 @@ from repro.dse.cache import (
     DEFAULT_CACHE_DIR,
     ResultCache,
     point_fingerprint,
+    serve_point_fingerprint,
 )
 from repro.dse.parallel import run_points
 from repro.dse.explorer import Explorer, SweepRow
@@ -38,4 +39,5 @@ __all__ = [
     "format_table",
     "point_fingerprint",
     "run_points",
+    "serve_point_fingerprint",
 ]

@@ -75,13 +75,38 @@ def point_fingerprint(
     )
 
 
+def serve_point_fingerprint(
+    config: SystemConfig,
+    serve: "typing.Any",
+    library: typing.Optional[ABBLibrary] = None,
+) -> str:
+    """Content address of one serving session.
+
+    Covers everything :func:`~repro.serve.session.run_serve` consumes:
+    the full system config, the complete serve config (tenant workloads
+    with their kernel IR, arrival processes and seeds, admission policy,
+    duration, session seed), and the ABB library.  Serving sessions are
+    deterministic functions of these inputs, so a hit is always safe.
+    """
+    return digest(
+        {
+            "config": canonical_value(config),
+            "serve": canonical_value(serve),
+            "library": library_fingerprint(library),
+        }
+    )
+
+
 class ResultCache:
     """On-disk result store addressed by point fingerprint.
 
     ``get`` returns ``None`` on a miss (including unreadable or
     schema-mismatched entries, which are treated as absent rather than
     fatal — a cache must never be able to break a sweep).  ``hits`` and
-    ``misses`` count lookups for reporting and tests.
+    ``misses`` count lookups for reporting and tests.  Serving sessions
+    share the same directory via ``get_serve``/``put_serve``; the entry
+    ``kind`` keeps the two result schemas from masquerading as each
+    other.
     """
 
     def __init__(self, cache_dir: str = DEFAULT_CACHE_DIR) -> None:
@@ -94,29 +119,29 @@ class ResultCache:
             self.cache_dir, fingerprint[:2], f"{fingerprint}.json"
         )
 
-    def get(self, fingerprint: str) -> typing.Optional[SimResult]:
-        """Look up a result by fingerprint; ``None`` if absent/corrupt."""
+    def _load(self, fingerprint: str, kind: str) -> typing.Optional[dict]:
+        """Raw entry payload for one fingerprint, or ``None``."""
         path = self._path(fingerprint)
         try:
             with open(path) as handle:
                 document = json.load(handle)
             if document.get("schema_version") != SCHEMA_VERSION:
                 raise ValueError("schema mismatch")
-            result = result_from_dict(document["result"])
+            if document.get("kind", "sim") != kind:
+                raise ValueError("kind mismatch")
+            return document["result"]
         except (OSError, ValueError, KeyError, TypeError):
-            self.misses += 1
             return None
-        self.hits += 1
-        return result
 
-    def put(self, fingerprint: str, result: SimResult) -> None:
-        """Store a result under its fingerprint (atomic replace)."""
+    def _store(self, fingerprint: str, kind: str, payload: dict) -> None:
+        """Atomically write one entry (temp file + replace)."""
         path = self._path(fingerprint)
         os.makedirs(os.path.dirname(path), exist_ok=True)
         document = {
             "schema_version": SCHEMA_VERSION,
+            "kind": kind,
             "fingerprint": fingerprint,
-            "result": result_to_dict(result),
+            "result": payload,
         }
         fd, tmp_path = tempfile.mkstemp(
             dir=os.path.dirname(path), suffix=".tmp"
@@ -131,6 +156,46 @@ class ResultCache:
             except OSError:
                 pass
             raise
+
+    def get(self, fingerprint: str) -> typing.Optional[SimResult]:
+        """Look up a result by fingerprint; ``None`` if absent/corrupt."""
+        payload = self._load(fingerprint, "sim")
+        if payload is None:
+            self.misses += 1
+            return None
+        try:
+            result = result_from_dict(payload)
+        except (ValueError, KeyError, TypeError):
+            self.misses += 1
+            return None
+        self.hits += 1
+        return result
+
+    def put(self, fingerprint: str, result: SimResult) -> None:
+        """Store a result under its fingerprint (atomic replace)."""
+        self._store(fingerprint, "sim", result_to_dict(result))
+
+    def get_serve(self, fingerprint: str) -> typing.Optional["typing.Any"]:
+        """Look up a serving-session result; ``None`` if absent/corrupt."""
+        from repro.serve.slo import serve_result_from_dict
+
+        payload = self._load(fingerprint, "serve")
+        if payload is None:
+            self.misses += 1
+            return None
+        try:
+            result = serve_result_from_dict(payload)
+        except (ValueError, KeyError, TypeError):
+            self.misses += 1
+            return None
+        self.hits += 1
+        return result
+
+    def put_serve(self, fingerprint: str, result: "typing.Any") -> None:
+        """Store a serving-session result under its fingerprint."""
+        from repro.serve.slo import serve_result_to_dict
+
+        self._store(fingerprint, "serve", serve_result_to_dict(result))
 
     def __len__(self) -> int:
         """Number of entries currently on disk."""

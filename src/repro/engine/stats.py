@@ -3,6 +3,7 @@
 from __future__ import annotations
 
 import math
+import typing
 
 from repro.errors import ConfigError
 
@@ -23,7 +24,15 @@ class Counter:
 
 
 class Histogram:
-    """Streaming summary statistics (count/mean/min/max/stddev)."""
+    """Streaming summary statistics (count/mean/min/max/stddev) plus
+    exact percentiles.
+
+    Every observation is retained (a run records at most a few hundred
+    thousand floats), so :meth:`percentile` is computed on the true
+    sample set rather than interpolated from bucket midpoints — tail
+    quantiles (p99 of a wait-time distribution) are exactly the order
+    statistics SLO reporting needs, with no bucket-resolution error.
+    """
 
     def __init__(self, name: str = "") -> None:
         self.name = name
@@ -32,6 +41,8 @@ class Histogram:
         self._m2 = 0.0
         self.min = math.inf
         self.max = -math.inf
+        self._samples: list[float] = []
+        self._sorted_cache: typing.Optional[list[float]] = None
 
     def record(self, value: float) -> None:
         """Add one observation (Welford update)."""
@@ -41,6 +52,41 @@ class Histogram:
         self._m2 += delta * (value - self._mean)
         self.min = min(self.min, value)
         self.max = max(self.max, value)
+        self._samples.append(value)
+        self._sorted_cache = None
+
+    @property
+    def samples(self) -> list[float]:
+        """All recorded observations, in insertion order (a copy)."""
+        return list(self._samples)
+
+    def percentile(self, p: float) -> float:
+        """Exact ``p``-th percentile (0 <= p <= 100) of the observations.
+
+        Uses linear interpolation between closest order statistics (the
+        same convention as ``numpy.percentile``'s default): for ``n``
+        samples the rank is ``p/100 * (n - 1)``, interpolated between
+        the surrounding sorted values.  Raises
+        :class:`~repro.errors.ConfigError` on an empty histogram or an
+        out-of-range ``p``.
+        """
+        if not 0.0 <= p <= 100.0:
+            raise ConfigError(f"percentile must be in [0, 100], got {p}")
+        if not self._samples:
+            raise ConfigError(
+                f"histogram {self.name!r} is empty; no percentile exists"
+            )
+        if self._sorted_cache is None:
+            self._sorted_cache = sorted(self._samples)
+        ordered = self._sorted_cache
+        rank = p / 100.0 * (len(ordered) - 1)
+        lower = int(rank)
+        upper = min(lower + 1, len(ordered) - 1)
+        fraction = rank - lower
+        # a + f*(b - a) rather than the convex-combination form: exact
+        # when both neighbours are equal, so results never stray outside
+        # [min, max] by a rounding ulp.
+        return ordered[lower] + fraction * (ordered[upper] - ordered[lower])
 
     @property
     def mean(self) -> float:

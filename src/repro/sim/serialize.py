@@ -17,6 +17,30 @@ from repro.sim.results import SimResult
 SCHEMA_VERSION = 1
 
 
+def write_document(path: str, document: dict) -> None:
+    """Write one JSON document (stable key order, trailing newline)."""
+    with open(path, "w") as handle:
+        json.dump(document, handle, indent=2, sort_keys=True)
+        handle.write("\n")
+
+
+def read_document(path: str, expected_version: int = SCHEMA_VERSION) -> dict:
+    """Read a JSON document written by :func:`write_document`.
+
+    Rejects documents whose ``schema_version`` does not match, so a
+    format change can never be silently misread as current data.
+    """
+    with open(path) as handle:
+        document = json.load(handle)
+    version = document.get("schema_version")
+    if version != expected_version:
+        raise ConfigError(
+            f"unsupported results schema version {version!r} "
+            f"(expected {expected_version})"
+        )
+    return document
+
+
 def result_to_dict(result: SimResult) -> dict:
     """Flatten a result into a JSON-safe dict (includes derived metrics)."""
     return {
@@ -82,18 +106,10 @@ def save_results(
         "note": note,
         "results": [result_to_dict(r) for r in results],
     }
-    with open(path, "w") as handle:
-        json.dump(document, handle, indent=2, sort_keys=True)
+    write_document(path, document)
 
 
 def load_results(path: str) -> list:
     """Read results back from :func:`save_results` output."""
-    with open(path) as handle:
-        document = json.load(handle)
-    version = document.get("schema_version")
-    if version != SCHEMA_VERSION:
-        raise ConfigError(
-            f"unsupported results schema version {version!r} "
-            f"(expected {SCHEMA_VERSION})"
-        )
+    document = read_document(path)
     return [result_from_dict(d) for d in document["results"]]

@@ -40,7 +40,9 @@ def synthetic_workload(
         sw_cycles_per_tile: Software baseline cost.
     """
     if depth < 1 or width < 1:
-        raise ConfigError("depth and width must be >= 1")
+        raise ConfigError(f"depth and width must be >= 1, got {depth}x{width}")
+    if invocations < 1:
+        raise ConfigError(f"invocations must be >= 1, got {invocations}")
     if not 0.0 <= chain_fraction <= 1.0:
         raise ConfigError(f"chain fraction must be in [0, 1], got {chain_fraction}")
     kernel = Kernel(name)

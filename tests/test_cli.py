@@ -93,6 +93,68 @@ class TestCommands:
         assert main(["sweep", "--islands", "three", "--tiles", "2"]) == 1
         assert "bad island count" in capsys.readouterr().err
 
+    def test_serve_command(self, capsys, tmp_path):
+        out_path = tmp_path / "serve.json"
+        argv = [
+            "serve",
+            "--workloads", "Denoise",
+            "--tenants", "2",
+            "--tiles", "4",
+            "--load", "0.5",
+            "--duration", "200000",
+            "--cache-dir", str(tmp_path / "cache"),
+            "--out", str(out_path),
+        ]
+        assert main(argv) == 0
+        out = capsys.readouterr().out
+        assert "closed-loop saturation" in out
+        assert "always_hw" in out
+        assert out_path.exists()
+        from repro.serve import load_serve_results
+
+        results = load_serve_results(str(out_path))
+        assert len(results) == 1 and results[0].offered > 0
+        # Second invocation hits the persistent serve cache and must
+        # print the identical report.
+        assert main(argv) == 0
+        assert "always_hw" in capsys.readouterr().out
+
+    def test_serve_compare_runs_all_policies(self, capsys):
+        assert main([
+            "serve",
+            "--workloads", "Denoise",
+            "--tenants", "2",
+            "--tiles", "4",
+            "--load", "0.4",
+            "--duration", "150000",
+            "--compare",
+            "--no-cache",
+        ]) == 0
+        out = capsys.readouterr().out
+        for policy in ("always_hw", "wait_threshold", "shed"):
+            assert policy in out
+
+    def test_serve_trace_arrivals(self, capsys, tmp_path):
+        trace = tmp_path / "trace.txt"
+        trace.write_text("\n".join(str(5000 * i) for i in range(1, 11)))
+        assert main([
+            "serve",
+            "--workloads", "Denoise",
+            "--tenants", "1",
+            "--tiles", "4",
+            "--arrival", "trace",
+            "--trace-file", str(trace),
+            "--duration", "200000",
+            "--no-cache",
+        ]) == 0
+        assert "trace" in capsys.readouterr().out
+
+    def test_serve_trace_requires_file(self, capsys):
+        assert main([
+            "serve", "--arrival", "trace", "--tiles", "4", "--no-cache",
+        ]) == 1
+        assert "trace" in capsys.readouterr().err
+
     def test_fig10_small(self, capsys):
         assert main(["fig10", "--tiles", "2"]) == 0
         out = capsys.readouterr().out

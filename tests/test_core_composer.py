@@ -181,3 +181,45 @@ class TestWaiterDrain:
     def test_estimate_wait_zero_when_free(self):
         _, _, abc = make_abc()
         assert abc.estimate_wait("poly") == 0.0
+
+    def test_operational_and_pending_counts(self):
+        sim, _, abc = make_abc(n_islands=2, mix={"poly": 2})
+        assert abc.operational_count("poly") == 4
+        assert abc.pending_requests("poly") == 0
+        for _ in range(6):
+            abc.request("poly")
+        sim.run()
+        assert abc.pending_requests("poly") == 2
+
+    def test_estimate_wait_monotone_in_queue_depth(self):
+        # Same property the GAM guarantees: deeper queue, never a
+        # smaller estimate (the admission-signal invariant).
+        estimates = []
+        for depth in range(5):
+            sim, _, abc = make_abc(n_islands=1, mix={"poly": 2})
+            for _ in range(2 + depth):
+                abc.request("poly")
+            sim.run()
+            estimates.append(abc.estimate_wait("poly", service_hint=50.0))
+        assert estimates == sorted(estimates)
+        assert estimates[0] > 0
+
+    def test_estimate_wait_infinite_when_type_dead(self):
+        sim, islands, abc = make_abc(n_islands=1, mix={"poly": 1, "div": 1})
+        islands[0].fail_slot(islands[0].slots_of_type("poly")[0])
+        assert abc.estimate_wait("poly") == float("inf")
+
+    def test_service_cycles_observed_on_release(self):
+        sim, islands, abc = make_abc(n_islands=1, mix={"poly": 1})
+
+        def user(hold):
+            grant = yield abc.request("poly")
+            islands[grant.island_index].abbs[grant.slot].start_compute()
+            yield sim.timeout(hold)
+            abc.release(grant, invocations=1)
+
+        sim.process(user(80))
+        sim.process(user(40))
+        sim.run()
+        assert abc.service_cycles.count == 2
+        assert abc.service_cycles.mean == pytest.approx(60.0)

@@ -1,6 +1,7 @@
 """Tests for the ARC Global Accelerator Manager."""
 
 import pytest
+from hypothesis import given, strategies as st
 
 from repro.core.gam import (
     GlobalAcceleratorManager,
@@ -91,6 +92,25 @@ class TestWaitFeedback:
         gam.request("deblur")
         second = gam.estimate_wait("deblur")
         assert second > first > 0
+
+    @given(
+        capacity=st.integers(1, 8),
+        queue_depths=st.lists(st.integers(0, 30), min_size=2, max_size=6),
+        hint=st.floats(1.0, 1e6),
+    )
+    def test_estimate_monotone_in_queue_depth(self, capacity, queue_depths, hint):
+        # Property: for a saturated class, a deeper queue never yields a
+        # smaller wait estimate — what makes the feedback usable as an
+        # admission signal.
+        estimates = []
+        for depth in sorted(queue_depths):
+            _, gam = make_gam({"deblur": capacity})
+            for _ in range(capacity + depth):
+                gam.request("deblur")
+            assert gam.queue_length("deblur") == depth
+            estimates.append(gam.estimate_wait("deblur", service_hint=hint))
+        assert all(b >= a for a, b in zip(estimates, estimates[1:]))
+        assert all(e > 0 for e in estimates)
 
     def test_wait_statistics_recorded(self):
         sim, gam = make_gam({"deblur": 1})

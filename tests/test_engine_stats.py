@@ -32,6 +32,64 @@ class TestHistogram:
         assert h.min == 2.0
         assert h.max == 6.0
 
+    def test_percentile_exact_order_statistics(self):
+        h = Histogram()
+        for v in [40.0, 10.0, 30.0, 20.0]:  # insertion order irrelevant
+            h.record(v)
+        assert h.percentile(0.0) == 10.0
+        assert h.percentile(100.0) == 40.0
+        assert h.percentile(50.0) == pytest.approx(25.0)  # interpolated
+        assert h.percentile(25.0) == pytest.approx(17.5)
+
+    def test_percentile_single_sample(self):
+        h = Histogram()
+        h.record(7.0)
+        for p in (0.0, 50.0, 99.0, 100.0):
+            assert h.percentile(p) == 7.0
+
+    def test_percentile_rejects_bad_input(self):
+        h = Histogram()
+        with pytest.raises(ConfigError):
+            h.percentile(50.0)  # empty
+        h.record(1.0)
+        with pytest.raises(ConfigError):
+            h.percentile(-0.1)
+        with pytest.raises(ConfigError):
+            h.percentile(100.1)
+
+    def test_percentile_cache_invalidated_by_record(self):
+        h = Histogram()
+        h.record(1.0)
+        assert h.percentile(100.0) == 1.0
+        h.record(5.0)
+        assert h.percentile(100.0) == 5.0
+
+    def test_samples_returns_copy_in_insertion_order(self):
+        h = Histogram()
+        h.record(3.0)
+        h.record(1.0)
+        samples = h.samples
+        samples.append(99.0)
+        assert h.samples == [3.0, 1.0]
+
+    @given(
+        st.lists(st.floats(-1e6, 1e6), min_size=1, max_size=50),
+        st.floats(0.0, 100.0),
+    )
+    def test_percentile_matches_sorted_interpolation(self, values, p):
+        h = Histogram()
+        for v in values:
+            h.record(v)
+        ordered = sorted(values)
+        rank = p / 100.0 * (len(ordered) - 1)
+        lower = int(rank)
+        upper = min(lower + 1, len(ordered) - 1)
+        expected = ordered[lower] + (rank - lower) * (
+            ordered[upper] - ordered[lower]
+        )
+        assert h.percentile(p) == pytest.approx(expected, rel=1e-9, abs=1e-6)
+        assert min(values) <= h.percentile(p) <= max(values)
+
     @given(st.lists(st.floats(-1e6, 1e6), min_size=2, max_size=50))
     def test_matches_direct_computation(self, values):
         h = Histogram()

@@ -130,7 +130,25 @@ class TestSynthetic:
         with pytest.raises(ConfigError):
             synthetic_workload(depth=0)
         with pytest.raises(ConfigError):
+            synthetic_workload(width=0)
+        with pytest.raises(ConfigError):
+            synthetic_workload(invocations=0)
+        with pytest.raises(ConfigError):
             synthetic_workload(chain_fraction=1.5)
+        with pytest.raises(ConfigError):
+            synthetic_workload(chain_fraction=-0.001)
+        with pytest.raises(ConfigError):
+            synthetic_workload(chain_fraction=1.001)
+
+    def test_chain_fraction_edges_accepted(self, lib):
+        # Both closed endpoints of [0, 1] are valid configurations.
+        for fraction in (0.0, 1.0):
+            w = synthetic_workload(depth=2, width=2, chain_fraction=fraction, tiles=2)
+            assert len(w.build_graph(lib)) == 4
+
+    def test_minimum_dimensions_accepted(self, lib):
+        w = synthetic_workload(depth=1, width=1, invocations=1, tiles=1)
+        assert len(w.build_graph(lib)) == 1
 
 
 class TestWorkloadValidation:
