@@ -364,6 +364,96 @@ def cmd_serve(args) -> None:
             note=f"{args.tenants} tenants, {args.arrival} arrivals",
         )
         _print(f"wrote {len(results)} serve results to {args.out}")
+    if args.metrics_out:
+        from repro.obs import serve_metrics
+
+        registry = serve_metrics(detail)
+        registry.save(args.metrics_out)
+        _print(
+            f"wrote {len(registry)} per-tenant metrics to {args.metrics_out}"
+        )
+    if args.trace_out:
+        from repro.engine.trace import Tracer
+        from repro.obs import CATEGORIES, write_trace
+
+        # The cached result carries no span trace, so re-run the last
+        # policy's session with a tracer attached; tracing is
+        # bit-neutral, so this reproduces the reported session exactly.
+        session_tracer = Tracer()
+        traced = run_serve(config, serve, tracer=session_tracer)
+        write_trace(
+            session_tracer,
+            args.trace_out,
+            note=f"serve {traced.policy}, {args.tenants} tenants",
+        )
+        _print(
+            f"wrote {len(session_tracer.records):,} spans to "
+            f"{args.trace_out} (open in ui.perfetto.dev)"
+        )
+        _print("session critical-path attribution:")
+        for category in CATEGORIES:
+            share = traced.extras.get(f"attr.{category}", 0.0)
+            _print(f"  {category:<13} {share:6.1%}")
+
+
+def cmd_trace(args) -> None:
+    """Trace one run, export Perfetto JSON, and print the bottlenecks."""
+    from repro.engine.trace import Tracer
+    from repro.obs import analyze_critical_path, write_trace
+
+    if args.network not in NETWORK_ALIASES:
+        raise ConfigError(
+            f"unknown network {args.network!r}; choose from "
+            f"{sorted(NETWORK_ALIASES)}"
+        )
+    config = SystemConfig(
+        n_islands=args.islands,
+        network=PAPER_NETWORKS[NETWORK_ALIASES[args.network]],
+    )
+    workload = get_workload(args.workload, tiles=args.tiles)
+    tracer = Tracer()
+    result = run_workload(config, workload, tracer=tracer)
+    write_trace(
+        tracer, args.out, note=f"{workload.name} on {config.label()}"
+    )
+    _print(
+        f"{workload.name} on {config.label()}: {len(tracer.records):,} spans "
+        f"-> {args.out} (open in ui.perfetto.dev)"
+    )
+    _print("")
+    report = analyze_critical_path(tracer, makespan=result.total_cycles)
+    _print("critical-path attribution:")
+    _print(report.format_table())
+    _print("")
+    _print("hotspots (busiest actors):")
+    for actor, cycles in tracer.hotspots(args.top):
+        _print(f"  {actor:<28} {cycles:14,.0f} cycles")
+
+
+def _print_attribution_report(args) -> None:
+    """Traced medical-imaging suite -> per-workload bottleneck shares."""
+    from repro.engine.trace import Tracer
+    from repro.obs import CATEGORIES
+    from repro.workloads import MEDICAL_NAMES
+
+    config = SystemConfig()
+    _print(
+        f"Bottleneck attribution on {config.label()} "
+        "(critical-path share of makespan)"
+    )
+    _print(
+        f"{'workload':<16}" + "".join(f"{c:>14}" for c in CATEGORIES)
+    )
+    for name in MEDICAL_NAMES:
+        workload = get_workload(name, tiles=args.tiles)
+        tracer = Tracer()
+        result = run_workload(config, workload, tracer=tracer)
+        _print(
+            f"{workload.name:<16}"
+            + "".join(
+                f"{result.attribution.get(c, 0.0):>13.1%} " for c in CATEGORIES
+            )
+        )
 
 
 def cmd_topology(args) -> None:
@@ -376,6 +466,9 @@ def cmd_topology(args) -> None:
 
 def cmd_report(args) -> None:
     """Regenerate every figure, in paper order."""
+    if getattr(args, "attribution", False):
+        _print_attribution_report(args)
+        return
     for fn in (cmd_fig2, cmd_fig3, cmd_ops):
         fn(args)
         _print("")
@@ -408,7 +501,12 @@ def build_parser() -> argparse.ArgumentParser:
     add("fig8", cmd_fig8, "performance per unit energy")
     add("fig9", cmd_fig9, "performance per unit area")
     add("fig10", cmd_fig10, "best design vs 12-core CMP")
-    add("report", cmd_report, "all figures in order")
+    report = add("report", cmd_report, "all figures in order")
+    report.add_argument(
+        "--attribution",
+        action="store_true",
+        help="print critical-path bottleneck attribution for the medical suite",
+    )
 
     run = add("run", cmd_run, "run one benchmark on one configuration")
     run.add_argument("workload", choices=sorted(PAPER_BENCHMARKS))
@@ -537,6 +635,29 @@ def build_parser() -> argparse.ArgumentParser:
         help="disable the persistent result cache",
     )
     serve.add_argument("--out", default="", help="write serve results JSON here")
+    serve.add_argument(
+        "--metrics-out",
+        default="",
+        help="write the per-tenant metrics registry JSON here",
+    )
+    serve.add_argument(
+        "--trace-out",
+        default="",
+        help="re-run the last policy traced and write Perfetto JSON here",
+    )
+
+    trace = add("trace", cmd_trace, "trace one run and export Perfetto JSON")
+    trace.add_argument("workload", choices=sorted(PAPER_BENCHMARKS))
+    trace.add_argument("--islands", type=int, default=3)
+    trace.add_argument(
+        "--network", default="crossbar", help=f"one of {sorted(NETWORK_ALIASES)}"
+    )
+    trace.add_argument(
+        "--out", default="trace.json", help="Perfetto trace-event JSON path"
+    )
+    trace.add_argument(
+        "--top", type=int, default=5, help="hotspot actors to list"
+    )
 
     topo = add("topology", cmd_topology, "render the mesh floorplan", tiles=False)
     topo.add_argument("--islands", type=int, default=24)

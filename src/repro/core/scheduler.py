@@ -59,6 +59,8 @@ class TileScheduler:
         self.graph = graph
         self.tile_id = tile_id
         self.tenant = tenant
+        self._tracer = getattr(system, "tracer", None)
+        self._tags: dict[str, str] = {}
         # Maps task -> (island, slot); None marks a task that ran in
         # software (its results live in shared memory, not an SPM).
         self.locations: dict[str, typing.Optional[tuple[int, int]]] = {}
@@ -105,10 +107,46 @@ class TileScheduler:
             return None
         return max(sorted(bytes_by_island), key=lambda i: bytes_by_island[i])
 
-    def _trace(self, start: float, kind: str, actor: str, label: str) -> None:
-        tracer = getattr(self.system, "tracer", None)
+    def _trace(
+        self,
+        start: float,
+        kind: str,
+        actor: str,
+        label: str,
+        ref: str = "",
+        args: typing.Optional[typing.Mapping[str, typing.Any]] = None,
+    ) -> None:
+        tracer = self._tracer
         if tracer is not None:
-            tracer.record(start, self.system.sim.now, actor, kind, label)
+            tracer.record(start, self.system.sim.now, actor, kind, label, ref, args)
+
+    def _tag(self, task_id: str) -> str:
+        """Correlation id of one task of this tile (``tenant1.t3.conv0``)."""
+        tag = self._tags.get(task_id)
+        if tag is None:
+            prefix = f"{self.tenant}." if self.tenant else ""
+            tag = f"{prefix}t{self.tile_id}.{task_id}"
+            self._tags[task_id] = tag
+        return tag
+
+    def _trace_task(
+        self, start: float, actor: str, task_id: str, producers
+    ) -> None:
+        """Record the task's aggregate span carrying the DAG edges."""
+        tracer = self._tracer
+        if tracer is not None:
+            tracer.record(
+                start,
+                self.system.sim.now,
+                actor,
+                "task",
+                label=task_id,
+                ref=self._tag(task_id),
+                args={
+                    "deps": [self._tag(p) for p in producers],
+                    "tenant": self.tenant,
+                },
+            )
 
     # --------------------------------------------------------- task process
     def _run_task(self, task_id: str):
@@ -117,8 +155,7 @@ class TileScheduler:
         library = system.library
         task = graph.task(task_id)
         producers = graph.predecessors(task_id)
-        prefix = f"{self.tenant}." if self.tenant else ""
-        tag = f"{prefix}t{self.tile_id}.{task_id}"
+        tag = self._tag(task_id)
 
         # 1. Wait for chained producers.
         if producers:
@@ -132,14 +169,20 @@ class TileScheduler:
             task.abb_type, preferred_island=self._preferred_island(task_id)
         )
         if grant is SOFTWARE_FALLBACK:
-            yield from self._run_task_software(task_id, task, producers, tag)
+            yield from self._run_task_software(
+                task_id, task, producers, tag, requested_at
+            )
             return
         assert isinstance(grant, Grant)
         self.locations[task_id] = (grant.island_index, grant.slot)
         island = system.islands[grant.island_index]
-        actor = f"island{grant.island_index}.slot{grant.slot}"
+        actor = (
+            f"island{grant.island_index}.slot{grant.slot}"
+            if self._tracer is not None
+            else ""
+        )
         if system.sim.now > requested_at:
-            self._trace(requested_at, "alloc_wait", actor, tag)
+            self._trace(requested_at, "alloc_wait", actor, tag, tag)
 
         # 3. Gather operands in parallel.
         input_events = []
@@ -151,6 +194,7 @@ class TileScheduler:
                     grant.slot,
                     mem_bytes,
                     self._stream_id(task_id),
+                    tag,
                 )
             )
         for producer in producers:
@@ -165,43 +209,67 @@ class TileScheduler:
                         grant.slot,
                         nbytes,
                         self._stream_id(producer),
+                        tag,
                     )
                 )
                 continue
             src_island, src_slot = location
             if src_island == grant.island_index:
                 input_events.append(
-                    island.chain_local(src_slot, grant.slot, nbytes)
+                    island.chain_local(src_slot, grant.slot, nbytes, tag)
                 )
             else:
                 input_events.append(
                     system.island_to_island(
-                        src_island, src_slot, grant.island_index, grant.slot, nbytes
+                        src_island,
+                        src_slot,
+                        grant.island_index,
+                        grant.slot,
+                        nbytes,
+                        tag,
                     )
                 )
         if input_events:
             gather_start = system.sim.now
             yield AllOf(system.sim, input_events)
-            self._trace(gather_start, "gather", actor, tag)
+            self._trace(gather_start, "gather", actor, tag, tag)
 
         # 4. Compute.
         compute_start = system.sim.now
         yield island.compute(grant.slot, task.invocations)
-        self._trace(compute_start, "compute", actor, tag)
+        if self._tracer is not None:
+            self._trace(
+                compute_start,
+                "compute",
+                actor,
+                tag,
+                tag,
+                {
+                    "conflict": island.spm_groups[grant.slot].conflict_penalty(),
+                    "invocations": task.invocations,
+                },
+            )
 
         # 5. Write back sink outputs, then release the block.
         if not graph.successors(task_id):
             out_bytes = graph.task_output_bytes(task_id, library)
             writeback_start = system.sim.now
             yield system.island_to_memory(
-                grant.island_index, grant.slot, out_bytes, self._stream_id(task_id)
+                grant.island_index,
+                grant.slot,
+                out_bytes,
+                self._stream_id(task_id),
+                tag,
             )
-            self._trace(writeback_start, "writeback", actor, tag)
+            self._trace(writeback_start, "writeback", actor, tag, tag)
         system.abc.release(grant, task.invocations)
+        self._trace_task(requested_at, actor, task_id, producers)
         self._done[task_id].succeed(task_id)
 
     # ---------------------------------------------------- software fallback
-    def _run_task_software(self, task_id: str, task, producers, tag: str):
+    def _run_task_software(
+        self, task_id: str, task, producers, tag: str, task_start: float
+    ):
         """Run one task on a host core (no hardware composition exists).
 
         The core fetches every operand from shared memory (chained
@@ -224,7 +292,7 @@ class TileScheduler:
         yield system.fallback_cores.request()
         actor = "core.sw"
         if system.sim.now > requested_at:
-            self._trace(requested_at, "alloc_wait", actor, tag)
+            self._trace(requested_at, "alloc_wait", actor, tag, tag)
 
         # Gather operands: spill chained data parked in producer SPMs to
         # memory, then charge the core's own memory reads.
@@ -239,15 +307,15 @@ class TileScheduler:
                 src_island, src_slot = location
                 spill_events.append(
                     system.island_to_memory(
-                        src_island, src_slot, nbytes, self._stream_id(producer)
+                        src_island, src_slot, nbytes, self._stream_id(producer), tag
                     )
                 )
         if spill_events:
             yield AllOf(system.sim, spill_events)
         if read_bytes > 0:
-            yield system.memory.access(read_bytes, self._stream_id(task_id))
+            yield system.memory.access(read_bytes, self._stream_id(task_id), tag)
         if system.sim.now > gather_start:
-            self._trace(gather_start, "gather", actor, tag)
+            self._trace(gather_start, "gather", actor, tag, tag)
 
         # Compute in software at the calibrated per-invocation cost.
         compute_start = system.sim.now
@@ -258,14 +326,15 @@ class TileScheduler:
         system.energy.charge(
             "sw_fallback", system.fallback_model.energy_nj(cycles)
         )
-        self._trace(compute_start, "sw_compute", actor, tag)
+        self._trace(compute_start, "sw_compute", actor, tag, tag)
 
         # Publish results to shared memory for downstream consumers (or
         # as the final output when this task is a sink).
         out_bytes = graph.task_output_bytes(task_id, library)
         if out_bytes > 0:
             writeback_start = system.sim.now
-            yield system.memory.access(out_bytes, self._stream_id(task_id))
-            self._trace(writeback_start, "writeback", actor, tag)
+            yield system.memory.access(out_bytes, self._stream_id(task_id), tag)
+            self._trace(writeback_start, "writeback", actor, tag, tag)
         system.fallback_cores.release()
+        self._trace_task(task_start, actor, task_id, producers)
         self._done[task_id].succeed(task_id)

@@ -133,6 +133,11 @@ class BandwidthServer:
         self.busy_cycles = 0.0
         self.total_bytes = 0.0
         self.total_transfers = 0
+        # Completion time of the most recent transfer().  Lets callers
+        # that cannot wrap the transfer in a process (wrapping would
+        # reorder same-time events and perturb the simulation) still
+        # know the span the transfer occupies, e.g. for tracing.
+        self.last_done = 0.0
 
     def occupancy_for(self, nbytes: float) -> float:
         """Channel occupancy (cycles) of a transfer of ``nbytes``."""
@@ -150,6 +155,7 @@ class BandwidthServer:
         self.total_bytes += nbytes
         self.total_transfers += 1
         done = start + occupancy + self.latency
+        self.last_done = done
         event = Event(self.sim)
 
         def complete() -> None:

@@ -5,17 +5,30 @@ transfers, NoC crossings, allocation waits — so a run can be inspected
 after the fact: per-actor busy summaries, bottleneck ranking, and a
 text Gantt chart for small runs.  Tracing is opt-in (pass a tracer to
 :class:`~repro.sim.system.SystemModel`) and has no effect on timing.
+
+Spans carry two optional pieces of structure used by the observability
+subsystem (:mod:`repro.obs`):
+
+* ``ref`` — a correlation id tying a span to the task or request that
+  caused it (``"t3.conv0"`` for tile 3's ``conv0`` task,
+  ``"tenant1.t5.div0"`` under the serving frontend).  Every span a task
+  generates anywhere in the system — ABC wait, DMA, mesh hops, DRAM —
+  shares the task's ref, which is what lets the critical-path analyzer
+  walk one task's time breakdown across components.
+* ``args`` — a small mapping of structured detail (byte counts, producer
+  refs, SPM conflict fraction) exported verbatim into Perfetto traces.
 """
 
 from __future__ import annotations
 
+import math
 import typing
 from dataclasses import dataclass, field
 
 from repro.errors import ConfigError
 
 
-@dataclass(frozen=True)
+@dataclass(frozen=True, init=False)
 class TraceRecord:
     """One traced span.
 
@@ -26,6 +39,10 @@ class TraceRecord:
         kind: Span category (``"compute"``, ``"ingress"``, ``"chain"``,
             ``"egress"``, ``"alloc_wait"``, ...).
         label: Free-form detail (task id, byte count, ...).
+        ref: Correlation id of the task/request that caused the span
+            (empty for spans with no owner).
+        args: Structured detail exported to trace viewers; ``None``
+            means "no args".
     """
 
     start: float
@@ -33,12 +50,42 @@ class TraceRecord:
     actor: str
     kind: str
     label: str = ""
+    ref: str = ""
+    args: typing.Optional[typing.Mapping[str, typing.Any]] = None
 
-    def __post_init__(self) -> None:
-        if self.end < self.start:
+    def __init__(
+        self,
+        start: float,
+        end: float,
+        actor: str,
+        kind: str,
+        label: str = "",
+        ref: str = "",
+        args: typing.Optional[typing.Mapping[str, typing.Any]] = None,
+    ) -> None:
+        # NaN compares false against everything, so an `end < start`
+        # check alone would silently admit non-finite spans; reject them
+        # explicitly before the ordering check.
+        if not (math.isfinite(start) and math.isfinite(end)):
             raise ConfigError(
-                f"span ends before it starts ({self.start} > {self.end})"
+                f"span times must be finite, got [{start}, {end}]"
             )
+        if end < start:
+            raise ConfigError(
+                f"span ends before it starts ({start} > {end})"
+            )
+        # Hand-written init: the generated frozen-dataclass __init__
+        # funnels every field through object.__setattr__, which tripled
+        # per-span cost on hot traced runs.  Writing the instance dict
+        # directly keeps mutation blocked while making creation cheap.
+        d = self.__dict__
+        d["start"] = start
+        d["end"] = end
+        d["actor"] = actor
+        d["kind"] = kind
+        d["label"] = label
+        d["ref"] = ref
+        d["args"] = args
 
     @property
     def duration(self) -> float:
@@ -53,10 +100,17 @@ class Tracer:
     records: list = field(default_factory=list)
 
     def record(
-        self, start: float, end: float, actor: str, kind: str, label: str = ""
+        self,
+        start: float,
+        end: float,
+        actor: str,
+        kind: str,
+        label: str = "",
+        ref: str = "",
+        args: typing.Optional[typing.Mapping[str, typing.Any]] = None,
     ) -> TraceRecord:
         """Append one span."""
-        rec = TraceRecord(start, end, actor, kind, label)
+        rec = TraceRecord(start, end, actor, kind, label, ref, args)
         self.records.append(rec)
         return rec
 
@@ -68,6 +122,10 @@ class Tracer:
     def by_kind(self, kind: str) -> list:
         """All spans of one kind."""
         return [r for r in self.records if r.kind == kind]
+
+    def by_ref(self, ref: str) -> list:
+        """All spans correlated to one task/request id."""
+        return [r for r in self.records if r.ref == ref]
 
     def actors(self) -> list:
         """Distinct actors, in first-seen order."""
@@ -96,9 +154,13 @@ class Tracer:
         return out
 
     def hotspots(self, top: int = 5) -> list:
-        """The ``top`` busiest actors as (actor, cycles) pairs."""
+        """The ``top`` busiest actors as (actor, cycles) pairs.
+
+        Ties are broken by actor name so the ranking is deterministic
+        regardless of record insertion order.
+        """
         busy = self.busy_cycles()
-        return sorted(busy.items(), key=lambda kv: -kv[1])[:top]
+        return sorted(busy.items(), key=lambda kv: (-kv[1], kv[0]))[:top]
 
     # ---------------------------------------------------------------- gantt
     def gantt(
@@ -119,19 +181,26 @@ class Tracer:
         if end <= 0:
             return "(empty trace)"
         symbols = dict(kind_symbols or {})
-        rows = []
         chosen = list(actors) if actors is not None else self.actors()
         label_width = max((len(a) for a in chosen), default=0) + 1
         scale = width / end
-        for actor in chosen:
-            cells = ["."] * width
-            for rec in self.by_actor(actor):
-                lo = min(width - 1, int(rec.start * scale))
-                hi = min(width, max(lo + 1, int(rec.end * scale)))
-                symbol = symbols.get(rec.kind, "#")
-                for i in range(lo, hi):
-                    cells[i] = symbol
-            rows.append(f"{actor:<{label_width}}|{''.join(cells)}|")
+        # One pass over the records fills every chosen actor's row; the
+        # old per-actor `by_actor` rescans made rendering O(actors x
+        # records), which dominated on serve-sized traces.
+        cells_by_actor: dict[str, list] = {a: ["."] * width for a in chosen}
+        for rec in self.records:
+            cells = cells_by_actor.get(rec.actor)
+            if cells is None:
+                continue
+            lo = min(width - 1, int(rec.start * scale))
+            hi = min(width, max(lo + 1, int(rec.end * scale)))
+            symbol = symbols.get(rec.kind, "#")
+            for i in range(lo, hi):
+                cells[i] = symbol
+        rows = [
+            f"{actor:<{label_width}}|{''.join(cells_by_actor[actor])}|"
+            for actor in chosen
+        ]
         # Right-align the end-time label after the "0" origin mark; the
         # padding is clamped at one space so a label wider than the chart
         # (very large end times) cannot drive it negative and collapse

@@ -19,6 +19,7 @@ import repro.faults as faults
 from repro.abb.instance import ABBInstance
 from repro.abb.library import ABBLibrary
 from repro.engine import BandwidthServer, Event, Simulator, UtilizationTracker
+from repro.engine.trace import Tracer
 from repro.errors import AllocationError, ConfigError
 from repro.island.config import IslandConfig
 from repro.island.networks import SpmDmaNetwork, build_network
@@ -47,6 +48,7 @@ class Island:
         library: ABBLibrary,
         energy: typing.Optional[EnergyAccount] = None,
         fault_injector: typing.Optional["faults.FaultInjector"] = None,
+        tracer: typing.Optional[Tracer] = None,
     ) -> None:
         library.validate_mix(config.abb_mix)
         self.sim = sim
@@ -54,6 +56,7 @@ class Island:
         self.config = config
         self.library = library
         self.energy = energy if energy is not None else EnergyAccount()
+        self.tracer = tracer
 
         # Slots: one ABB + one SPM group per slot, laid out in a fixed
         # physical order (types interleaved as given by the mix).
@@ -108,6 +111,15 @@ class Island:
         self.abb_tracker = UtilizationTracker(
             capacity=len(self.abbs), name=f"island{island_id}.abbs"
         )
+        # Actor names for traced data-path sub-spans, built once, and a
+        # byte-count label cache (transfer sizes repeat per tile shape):
+        # per-span f-string formatting was a measurable share of tracing
+        # overhead.
+        self._span_actors = {
+            suffix: f"island{island_id}.{suffix}"
+            for suffix in ("noc_in", "noc_out", "dma", "net")
+        }
+        self._span_labels: dict[float, str] = {}
 
     # -------------------------------------------------------------- queries
     @property
@@ -242,40 +254,74 @@ class Island:
             yield self.dma.transfer(nbytes)
             return
 
-    def ingress(self, slot: int, nbytes: float) -> Event:
+    def _span(
+        self, start: float, suffix: str, kind: str, ref: str, nbytes: float
+    ) -> None:
+        """Record one data-path sub-span ending now (no-op untraced)."""
+        if self.tracer is not None:
+            label = self._span_labels.get(nbytes)
+            if label is None:
+                label = f"{nbytes:g}B"
+                self._span_labels[nbytes] = label
+            self.tracer.record(
+                start,
+                self.sim.now,
+                self._span_actors[suffix],
+                kind,
+                label=label,
+                ref=ref,
+            )
+
+    def ingress(self, slot: int, nbytes: float, ref: str = "") -> Event:
         """Bring ``nbytes`` from the NoC into a slot's SPM."""
         self._check_slot(slot)
 
         def proc():
+            t0 = self.sim.now
             yield self.noc_in.transfer(nbytes)
+            self._span(t0, "noc_in", "noc_if", ref, nbytes)
+            t0 = self.sim.now
             yield from self._dma_transfer(nbytes)
+            self._span(t0, "dma", "dma", ref, nbytes)
+            t0 = self.sim.now
             yield self.network.dma_to_spm(slot, nbytes)
+            self._span(t0, "net", "spm_net", ref, nbytes)
             self.energy.charge("spm", self.spm_groups[slot].record_write(nbytes))
             return nbytes
 
         return self.sim.process(proc())
 
-    def egress(self, slot: int, nbytes: float) -> Event:
+    def egress(self, slot: int, nbytes: float, ref: str = "") -> Event:
         """Send ``nbytes`` from a slot's SPM out to the NoC."""
         self._check_slot(slot)
 
         def proc():
             self.energy.charge("spm", self.spm_groups[slot].record_read(nbytes))
+            t0 = self.sim.now
             yield self.network.spm_to_dma(slot, nbytes)
+            self._span(t0, "net", "spm_net", ref, nbytes)
+            t0 = self.sim.now
             yield from self._dma_transfer(nbytes)
+            self._span(t0, "dma", "dma", ref, nbytes)
+            t0 = self.sim.now
             yield self.noc_out.transfer(nbytes)
+            self._span(t0, "noc_out", "noc_if", ref, nbytes)
             return nbytes
 
         return self.sim.process(proc())
 
-    def chain_local(self, src_slot: int, dst_slot: int, nbytes: float) -> Event:
+    def chain_local(
+        self, src_slot: int, dst_slot: int, nbytes: float, ref: str = ""
+    ) -> Event:
         """Move chained data between two slots on this island."""
         self._check_slot(src_slot)
         self._check_slot(dst_slot)
 
         def proc():
             self.energy.charge("spm", self.spm_groups[src_slot].record_read(nbytes))
+            t0 = self.sim.now
             yield self.network.chain(src_slot, dst_slot, nbytes)
+            self._span(t0, "net", "spm_net", ref, nbytes)
             self.energy.charge("spm", self.spm_groups[dst_slot].record_write(nbytes))
             return nbytes
 

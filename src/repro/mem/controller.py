@@ -12,6 +12,7 @@ from __future__ import annotations
 import typing
 
 from repro.engine import BandwidthServer, Event, Simulator
+from repro.engine.trace import Tracer
 from repro.errors import ConfigError
 from repro.mem.dram import DRAM_ENERGY_PJ_PER_BYTE
 from repro.power.aggregate import EnergyAccount
@@ -37,6 +38,7 @@ class MemoryController:
         bandwidth_gbps: float = PAPER_MC_BANDWIDTH_GBPS,
         latency_cycles: float = PAPER_MC_LATENCY_CYCLES,
         energy: typing.Optional[EnergyAccount] = None,
+        tracer: typing.Optional[Tracer] = None,
     ) -> None:
         if bandwidth_gbps <= 0:
             raise ConfigError("memory bandwidth must be positive")
@@ -44,6 +46,11 @@ class MemoryController:
             raise ConfigError("memory latency must be non-negative")
         self.index = index
         self.energy = energy if energy is not None else EnergyAccount()
+        self.tracer = tracer
+        self._span_actor = f"mem.mc{index}"
+        # Byte-count labels repeat per tile shape; formatting them once
+        # keeps tracing cheap on hot paths.
+        self._span_labels: dict[float, str] = {}
         self._channel = BandwidthServer(
             sim,
             bytes_per_cycle=gbps_to_bytes_per_cycle(bandwidth_gbps, ACCEL_CLOCK),
@@ -51,10 +58,28 @@ class MemoryController:
             name=f"mc{index}",
         )
 
-    def access(self, nbytes: float) -> Event:
+    def access(self, nbytes: float, ref: str = "") -> Event:
         """Read or write ``nbytes``; the event fires when data is served."""
         self.energy.charge("dram", DRAM_ENERGY_PJ_PER_BYTE * nbytes * 1e-3)
-        return self._channel.transfer(nbytes)
+        start = self._channel.sim.now
+        event = self._channel.transfer(nbytes)
+        if self.tracer is not None:
+            label = self._span_labels.get(nbytes)
+            if label is None:
+                label = f"{nbytes:g}B"
+                self._span_labels[nbytes] = label
+            # access() returns the channel event directly — no wrapping
+            # process exists to observe completion — so the span end is
+            # the channel's analytically known drain time.
+            self.tracer.record(
+                start,
+                self._channel.last_done,
+                self._span_actor,
+                "mem",
+                label=label,
+                ref=ref,
+            )
+        return event
 
     def utilization(self, elapsed: float) -> float:
         """Busy fraction of the channel."""
@@ -76,12 +101,15 @@ class MemorySystem:
         bandwidth_gbps: float = PAPER_MC_BANDWIDTH_GBPS,
         latency_cycles: float = PAPER_MC_LATENCY_CYCLES,
         energy: typing.Optional[EnergyAccount] = None,
+        tracer: typing.Optional[Tracer] = None,
     ) -> None:
         if n_controllers < 1:
             raise ConfigError("need at least one memory controller")
         self.energy = energy if energy is not None else EnergyAccount()
         self.controllers = [
-            MemoryController(sim, i, bandwidth_gbps, latency_cycles, self.energy)
+            MemoryController(
+                sim, i, bandwidth_gbps, latency_cycles, self.energy, tracer
+            )
             for i in range(n_controllers)
         ]
         self._next_rr = 0
@@ -95,9 +123,14 @@ class MemorySystem:
             index = stream_id % len(self.controllers)
         return self.controllers[index]
 
-    def access(self, nbytes: float, stream_id: typing.Optional[int] = None) -> Event:
+    def access(
+        self,
+        nbytes: float,
+        stream_id: typing.Optional[int] = None,
+        ref: str = "",
+    ) -> Event:
         """Serve an access on the interleave-selected controller."""
-        return self.controller_for(stream_id).access(nbytes)
+        return self.controller_for(stream_id).access(nbytes, ref)
 
     def total_bytes(self) -> float:
         """Bytes served across all controllers."""

@@ -15,6 +15,7 @@ import math
 import typing
 
 from repro.engine import AllOf, BandwidthServer, Event, Simulator
+from repro.engine.trace import Tracer
 from repro.errors import ConfigError
 from repro.noc.topology import MeshTopology, Node
 from repro.power.aggregate import EnergyAccount
@@ -51,6 +52,7 @@ class MeshNoC:
         energy: typing.Optional[EnergyAccount] = None,
         segment_bytes: typing.Optional[float] = None,
         fault_injector: typing.Optional[typing.Any] = None,
+        tracer: typing.Optional[Tracer] = None,
     ) -> None:
         if link_bytes_per_cycle <= 0:
             raise ConfigError("mesh link bandwidth must be positive")
@@ -66,6 +68,13 @@ class MeshNoC:
         # Fault injection: a deterministic subset of links pays a
         # multiplied per-hop router latency (see repro.faults).
         self.fault_injector = fault_injector
+        self.tracer = tracer
+        # Route actor names and span labels for traced transfers, built
+        # once per distinct route / (bytes, hops) pair: per-span
+        # f-string formatting was a measurable share of tracing
+        # overhead.  Keys are plain ints/floats (cheap to hash).
+        self._route_actors: dict[tuple[int, int, int, int], str] = {}
+        self._span_labels: dict[tuple[float, int], str] = {}
         self._links: dict[tuple[tuple[int, int], tuple[int, int]], BandwidthServer] = {}
         self.total_transfers = 0
         self.total_packets = 0
@@ -101,7 +110,9 @@ class MeshNoC:
         return path
 
     # ------------------------------------------------------------ transfers
-    def transfer(self, src: Node, dst: Node, nbytes: float) -> Event:
+    def transfer(
+        self, src: Node, dst: Node, nbytes: float, ref: str = ""
+    ) -> Event:
         """Send ``nbytes`` from ``src`` to ``dst``; event fires on arrival."""
         if nbytes < 0:
             raise ConfigError(f"transfer size must be non-negative, got {nbytes}")
@@ -144,8 +155,27 @@ class MeshNoC:
                 )
 
         def proc():
+            t0 = self.sim.now
             yield AllOf(self.sim, link_events)
             yield self.sim.timeout(router_cycles)
+            if self.tracer is not None:
+                key = (src.x, src.y, dst.x, dst.y)
+                actor = self._route_actors.get(key)
+                if actor is None:
+                    actor = f"mesh.{src.x},{src.y}->{dst.x},{dst.y}"
+                    self._route_actors[key] = actor
+                label = self._span_labels.get((nbytes, hops))
+                if label is None:
+                    label = f"{nbytes:g}B/{hops}h"
+                    self._span_labels[(nbytes, hops)] = label
+                self.tracer.record(
+                    t0,
+                    self.sim.now,
+                    actor,
+                    "noc",
+                    label=label,
+                    ref=ref,
+                )
             return nbytes
 
         return self.sim.process(proc())

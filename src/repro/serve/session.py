@@ -23,6 +23,7 @@ from dataclasses import dataclass, field, replace
 
 from repro.abb.library import ABBLibrary
 from repro.core.scheduler import TileScheduler
+from repro.engine.trace import Tracer
 from repro.errors import ConfigError, SimulationError
 from repro.serve.arrivals import MEGACYCLE, ArrivalConfig, arrival_times
 from repro.serve.frontend import AdmissionConfig, AdmissionFrontend, Decision
@@ -162,6 +163,7 @@ def run_serve(
     config: SystemConfig,
     serve: ServeConfig,
     library: typing.Optional[ABBLibrary] = None,
+    tracer: typing.Optional[Tracer] = None,
 ) -> ServeResult:
     """Serve ``serve.tenants`` on one shared system for one session.
 
@@ -170,8 +172,14 @@ def run_serve(
     Goodput counts only requests that complete inside the measurement
     window, so an overloaded session shows sustained load below offered
     load rather than hiding the backlog in the drain.
+
+    Passing a ``tracer`` records the session's span trace without
+    perturbing it (results are bit-identical) and adds bottleneck
+    attribution to the result's ``extras``: ``attr.<category>`` shares
+    of the session critical path, plus ``busy.<tenant>.<category>``
+    per-tenant busy-cycle breakdowns (see :mod:`repro.obs.critpath`).
     """
-    system = SystemModel(config, library=library)
+    system = SystemModel(config, library=library, tracer=tracer)
     sim = system.sim
     frontend = AdmissionFrontend(system, serve.admission)
     duration = serve.duration_cycles
@@ -206,16 +214,32 @@ def run_serve(
         # ARC's software path: a host core fetches operands from shared
         # memory, runs the calibrated software implementation, and
         # writes results back.  Chained intermediates stay core-local.
+        ref = f"{state.spec.name}.t{tile_id}.sw"
         yield system.fallback_cores.request()
+        if tracer is not None and sim.now > arrived:
+            tracer.record(arrived, sim.now, "core.sw", "alloc_wait", ref, ref)
         if state.sw_read_bytes > 0:
-            yield system.memory.access(state.sw_read_bytes, tile_id)
+            yield system.memory.access(state.sw_read_bytes, tile_id, ref)
+        compute_start = sim.now
         yield sim.timeout(state.sw_cycles)
         system.energy.charge(
             "sw_fallback", system.fallback_model.energy_nj(state.sw_cycles)
         )
+        if tracer is not None:
+            tracer.record(compute_start, sim.now, "core.sw", "sw_compute", ref, ref)
         if state.sw_write_bytes > 0:
-            yield system.memory.access(state.sw_write_bytes, tile_id)
+            yield system.memory.access(state.sw_write_bytes, tile_id, ref)
         system.fallback_cores.release()
+        if tracer is not None:
+            tracer.record(
+                arrived,
+                sim.now,
+                "core.sw",
+                "task",
+                ref,
+                ref,
+                {"deps": [], "tenant": state.spec.name},
+            )
         state.sw_fallbacks += 1
         state.latencies.append(sim.now - arrived)
         if sim.now <= duration:
@@ -280,7 +304,27 @@ def run_serve(
         )
     aggregate = latency_summary(all_latencies)
     elapsed = max(drained, 1.0)
+    extras: dict[str, float] = {}
+    if tracer is not None:
+        from repro.obs.critpath import (
+            analyze_critical_path,
+            category_cycles_by_tenant,
+        )
+
+        # Open-loop sessions disable the window-handoff heuristic: a
+        # request that starts late was not waiting on a finished
+        # predecessor, it simply had not arrived — that idle time must
+        # report as "other", not as someone else's work.
+        report = analyze_critical_path(
+            tracer, makespan=drained, window_handoff=False
+        )
+        for category, share in report.shares().items():
+            extras[f"attr.{category}"] = share
+        for tenant, cycles in sorted(category_cycles_by_tenant(tracer).items()):
+            for category, value in cycles.items():
+                extras[f"busy.{tenant or 'none'}.{category}"] = value
     return ServeResult(
+        extras=extras,
         config_label=config.label(),
         policy=serve.admission.policy,
         duration_cycles=duration,

@@ -32,6 +32,10 @@ class SimResult:
     dma_retries: int = 0
     fallback_tasks: int = 0
     fallback_tiles: int = 0
+    #: Critical-path bottleneck shares (category -> fraction of the
+    #: makespan; see :mod:`repro.obs.critpath`).  Empty on untraced
+    #: runs — attribution needs the span DAG a tracer collects.
+    attribution: dict[str, float] = field(default_factory=dict)
 
     def __post_init__(self) -> None:
         if self.total_cycles <= 0:

@@ -12,6 +12,7 @@ import typing
 from repro.abb.library import ABBLibrary
 from repro.core.scheduler import TileScheduler
 from repro.engine import Resource
+from repro.engine.trace import Tracer
 from repro.errors import ConfigError, SimulationError
 from repro.sim.results import SimResult
 from repro.sim.system import SystemConfig, SystemModel
@@ -21,22 +22,35 @@ from repro.workloads.base import Workload
 DEFAULT_TILE_WINDOW = 8
 
 
+def _attribution_shares(
+    tracer: typing.Optional[Tracer], makespan: float
+) -> dict[str, float]:
+    """Critical-path shares for a traced closed-loop run ({} untraced)."""
+    if tracer is None:
+        return {}
+    from repro.obs.critpath import analyze_critical_path
+
+    return analyze_critical_path(tracer, makespan=makespan).shares()
+
+
 def run_workload(
     config: SystemConfig,
     workload: Workload,
     tile_window: int = DEFAULT_TILE_WINDOW,
     allow_fabric: bool = False,
     library: typing.Optional[ABBLibrary] = None,
+    tracer: typing.Optional[Tracer] = None,
 ) -> SimResult:
     """Simulate ``workload`` on a system built from ``config``.
 
     Returns a :class:`SimResult` with timing, energy, area and
     utilization.  Deterministic: identical inputs produce identical
-    results.
+    results — with or without a ``tracer``; tracing only *observes* the
+    run (and fills the result's ``attribution`` breakdown).
     """
     if tile_window < 1:
         raise ConfigError("tile window must be >= 1")
-    system = SystemModel(config, library=library)
+    system = SystemModel(config, library=library, tracer=tracer)
     graph = workload.build_graph(system.library, allow_fabric=allow_fabric)
     sim = system.sim
     window = Resource(sim, capacity=tile_window)
@@ -63,6 +77,7 @@ def run_workload(
     degradation = system.fault_stats
     return SimResult(
         workload=workload.name,
+        attribution=_attribution_shares(tracer, elapsed),
         config_label=config.label(),
         tiles=workload.tiles,
         total_cycles=elapsed,
@@ -86,6 +101,7 @@ def run_consolidated(
     workloads: typing.Sequence[Workload],
     tile_window: int = DEFAULT_TILE_WINDOW,
     library: typing.Optional[ABBLibrary] = None,
+    tracer: typing.Optional[Tracer] = None,
 ) -> SimResult:
     """Run several applications *concurrently* on one shared platform.
 
@@ -98,7 +114,7 @@ def run_consolidated(
         raise ConfigError("need at least one workload to consolidate")
     if tile_window < 1:
         raise ConfigError("tile window must be >= 1")
-    system = SystemModel(config, library=library)
+    system = SystemModel(config, library=library, tracer=tracer)
     sim = system.sim
     completed: list[tuple[int, int]] = []
     total_tiles = 0
@@ -128,6 +144,7 @@ def run_consolidated(
     degradation = system.fault_stats
     return SimResult(
         workload=label,
+        attribution=_attribution_shares(tracer, elapsed),
         config_label=config.label(),
         tiles=total_tiles,
         total_cycles=elapsed,

@@ -60,6 +60,7 @@ def result_to_dict(result: SimResult) -> dict:
         "dma_retries": result.dma_retries,
         "fallback_tasks": result.fallback_tasks,
         "fallback_tiles": result.fallback_tiles,
+        "attribution": dict(result.attribution),
         "derived": result.summary_row(),
     }
 
@@ -94,6 +95,9 @@ def result_from_dict(data: typing.Mapping) -> SimResult:
         dma_retries=int(data.get("dma_retries", 0)),
         fallback_tasks=int(data.get("fallback_tasks", 0)),
         fallback_tiles=int(data.get("fallback_tiles", 0)),
+        attribution={
+            str(k): float(v) for k, v in data.get("attribution", {}).items()
+        },
     )
 
 

@@ -208,6 +208,7 @@ class SystemModel:
                     self.library,
                     self.energy,
                     fault_injector=self.fault_injector,
+                    tracer=tracer,
                 )
             )
 
@@ -223,6 +224,7 @@ class SystemModel:
             link_bytes_per_cycle=config.mesh_link_bytes_per_cycle,
             energy=self.energy,
             fault_injector=self.fault_injector,
+            tracer=tracer,
         )
         self.memory = MemorySystem(
             self.sim,
@@ -230,6 +232,7 @@ class SystemModel:
             bandwidth_gbps=config.mc_bandwidth_gbps,
             latency_cycles=config.mc_latency_cycles,
             energy=self.energy,
+            tracer=tracer,
         )
         self.abc = AcceleratorBlockComposer(self.sim, self.islands, config.policy)
 
@@ -286,33 +289,49 @@ class SystemModel:
         return self.topology.memory_controller(index)
 
     def memory_to_island(
-        self, island_index: int, slot: int, nbytes: float, stream_id: int
+        self,
+        island_index: int,
+        slot: int,
+        nbytes: float,
+        stream_id: int,
+        ref: str = "",
     ) -> Event:
         """DRAM read -> mesh -> island ingress -> SPM."""
         island = self.islands[island_index]
 
         def proc():
-            yield self.memory.access(nbytes, stream_id)
+            yield self.memory.access(nbytes, stream_id, ref)
             yield self.noc.transfer(
-                self._mc_node(stream_id), self.topology.island(island_index), nbytes
+                self._mc_node(stream_id),
+                self.topology.island(island_index),
+                nbytes,
+                ref,
             )
-            yield island.ingress(slot, nbytes)
+            yield island.ingress(slot, nbytes, ref)
             return nbytes
 
         return self.sim.process(proc())
 
     def island_to_memory(
-        self, island_index: int, slot: int, nbytes: float, stream_id: int
+        self,
+        island_index: int,
+        slot: int,
+        nbytes: float,
+        stream_id: int,
+        ref: str = "",
     ) -> Event:
         """SPM -> island egress -> mesh -> DRAM write."""
         island = self.islands[island_index]
 
         def proc():
-            yield island.egress(slot, nbytes)
+            yield island.egress(slot, nbytes, ref)
             yield self.noc.transfer(
-                self.topology.island(island_index), self._mc_node(stream_id), nbytes
+                self.topology.island(island_index),
+                self._mc_node(stream_id),
+                nbytes,
+                ref,
             )
-            yield self.memory.access(nbytes, stream_id)
+            yield self.memory.access(nbytes, stream_id, ref)
             return nbytes
 
         return self.sim.process(proc())
@@ -324,19 +343,23 @@ class SystemModel:
         dst_index: int,
         dst_slot: int,
         nbytes: float,
+        ref: str = "",
     ) -> Event:
         """Cross-island chaining: egress -> mesh -> ingress."""
         if src_index == dst_index:
-            return self.islands[src_index].chain_local(src_slot, dst_slot, nbytes)
+            return self.islands[src_index].chain_local(
+                src_slot, dst_slot, nbytes, ref
+            )
 
         def proc():
-            yield self.islands[src_index].egress(src_slot, nbytes)
+            yield self.islands[src_index].egress(src_slot, nbytes, ref)
             yield self.noc.transfer(
                 self.topology.island(src_index),
                 self.topology.island(dst_index),
                 nbytes,
+                ref,
             )
-            yield self.islands[dst_index].ingress(dst_slot, nbytes)
+            yield self.islands[dst_index].ingress(dst_slot, nbytes, ref)
             return nbytes
 
         return self.sim.process(proc())

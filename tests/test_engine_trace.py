@@ -18,6 +18,28 @@ class TestTraceRecord:
         with pytest.raises(ConfigError):
             TraceRecord(10.0, 5.0, "a", "compute")
 
+    @pytest.mark.parametrize(
+        "start,end",
+        [
+            (float("nan"), 5.0),
+            (0.0, float("nan")),
+            (float("nan"), float("nan")),
+            (float("inf"), float("inf")),
+            (0.0, float("inf")),
+            (float("-inf"), 0.0),
+        ],
+    )
+    def test_non_finite_span_rejected(self, start, end):
+        # Regression: NaN compares False against everything, so the
+        # `end < start` check alone silently admitted NaN spans.
+        with pytest.raises(ConfigError):
+            TraceRecord(start, end, "a", "compute")
+
+    def test_ref_and_args_carried(self):
+        rec = TraceRecord(0.0, 1.0, "a", "compute", "lbl", "t0.x", {"k": 1})
+        assert rec.ref == "t0.x"
+        assert rec.args == {"k": 1}
+
 
 class TestTracer:
     def make_tracer(self):
@@ -41,6 +63,23 @@ class TestTracer:
     def test_hotspots_ranked(self):
         t = self.make_tracer()
         assert t.hotspots(1) == [("abb0", 14.0)]
+
+    def test_hotspots_tie_break_by_actor_name(self):
+        # Equal-cycle actors rank alphabetically regardless of the order
+        # their spans were recorded.
+        t = Tracer()
+        t.record(0, 10, "zeta", "compute")
+        t.record(0, 10, "alpha", "compute")
+        t.record(0, 10, "mid", "compute")
+        assert t.hotspots(3) == [("alpha", 10.0), ("mid", 10.0), ("zeta", 10.0)]
+
+    def test_by_ref(self):
+        t = Tracer()
+        t.record(0, 5, "a", "dma", ref="t0.x")
+        t.record(5, 9, "b", "noc", ref="t0.x")
+        t.record(0, 2, "a", "dma", ref="t0.y")
+        assert len(t.by_ref("t0.x")) == 2
+        assert [r.actor for r in t.by_ref("t0.y")] == ["a"]
 
     def test_end_time(self):
         assert self.make_tracer().end_time() == 14.0
@@ -97,6 +136,34 @@ class TestGantt:
     def test_narrow_width_rejected(self):
         with pytest.raises(ConfigError):
             Tracer().gantt(width=5)
+
+    def test_single_pass_matches_naive_render(self):
+        # The one-pass row construction must paint exactly the cells the
+        # old per-actor rescan painted.
+        t = Tracer()
+        for i in range(40):
+            actor = f"a{i % 5}"
+            t.record(i * 3.0, i * 3.0 + 7.0, actor, "compute")
+        width = 30
+        end = t.end_time()
+        scale = width / end
+        chart_rows = t.gantt(width=width).splitlines()[1:]
+        for actor, row in zip(t.actors(), chart_rows):
+            cells = ["."] * width
+            for rec in t.by_actor(actor):
+                lo = min(width - 1, int(rec.start * scale))
+                hi = min(width, max(lo + 1, int(rec.end * scale)))
+                for i in range(lo, hi):
+                    cells[i] = "#"
+            assert row == f"{actor:<3}|{''.join(cells)}|"
+
+    def test_actor_subset_and_unknown_actor_ignored(self):
+        t = Tracer()
+        t.record(0, 10, "x", "compute")
+        t.record(0, 10, "y", "compute")
+        chart = t.gantt(width=20, actors=["y"])
+        assert "x" not in chart
+        assert chart.splitlines()[1].startswith("y")
 
 
 class TestSchedulerIntegration:
