@@ -82,6 +82,12 @@ class AcceleratorBlockComposer:
         self.policy = policy
         self._waiters: collections.deque[_Waiter] = collections.deque()
         self._serial = 0
+        # Request-path caches: island ABB mixes are fixed at
+        # construction, so type existence never changes; and until the
+        # fault layer reports a hard failure every existing slot is
+        # operational, making both checks O(1) on clean platforms.
+        self._type_exists_cache: dict[str, bool] = {}
+        self._any_failures = False
         self.wait_cycles = Histogram("abc.wait")
         self.service_cycles = Histogram("abc.service")
         self.total_grants = 0
@@ -90,7 +96,13 @@ class AcceleratorBlockComposer:
 
     # ------------------------------------------------------------ internals
     def _type_exists(self, type_name: str) -> bool:
-        return any(island.slots_of_type(type_name) for island in self.islands)
+        exists = self._type_exists_cache.get(type_name)
+        if exists is None:
+            exists = any(
+                island.slots_of_type(type_name) for island in self.islands
+            )
+            self._type_exists_cache[type_name] = exists
+        return exists
 
     def _type_operational(self, type_name: str) -> bool:
         """Whether any non-failed slot of a type survives anywhere.
@@ -99,6 +111,8 @@ class AcceleratorBlockComposer:
         requests.  Only when every slot of the type has hard-failed is
         hardware composition impossible.
         """
+        if not self._any_failures:
+            return self._type_exists(type_name)
         return any(
             island.operational_slots(type_name) for island in self.islands
         )
@@ -231,6 +245,7 @@ class AcceleratorBlockComposer:
         its last operational slot are resolved to software fallback
         immediately (they can never be served in hardware).
         """
+        self._any_failures = True
         if self._waiters:
             self._drain_waiters()
 

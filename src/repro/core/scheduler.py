@@ -37,6 +37,11 @@ from repro.errors import SimulationError
 if typing.TYPE_CHECKING:  # pragma: no cover - import cycle guard
     from repro.sim.system import SystemModel
 
+#: Interned ``"island{i}.slot{s}"`` actor names, shared by every traced
+#: scheduler (the strings depend only on the indices).  Bounded by the
+#: platform's slot count, and only populated on traced runs.
+_ACTOR_NAMES: dict = {}
+
 
 class TileScheduler:
     """Runs one flow-graph instance to completion.
@@ -70,14 +75,39 @@ class TileScheduler:
 
     # ---------------------------------------------------------------- run
     def run(self) -> Event:
-        """Start every task process; returns an event firing at tile end."""
+        """Start the tile; returns an event firing at tile end.
+
+        Only root tasks spawn a process up front.  Every downstream task
+        is started by a countdown callback on its producers' done events
+        — the spawn happens inside the last producer's fire, the same
+        entry the old per-task producer-join ``AllOf`` fired in, so the
+        event order is unchanged while the parked generator and join
+        object per waiting task disappear.
+        """
         sim = self.system.sim
         order = self.graph.topological_order()
         for task_id in order:
             self._done[task_id] = Event(sim)
+        tile_done = AllOf(sim, [self._done[t] for t in order])
         for task_id in order:
-            sim.process(self._run_task(task_id))
-        return AllOf(sim, [self._done[t] for t in order])
+            producers = self.graph.predecessors(task_id)
+            if not producers:
+                sim.process(self._run_task(task_id))
+                continue
+            remaining = [len(producers)]
+
+            def on_producer_done(
+                _event: Event,
+                task_id: str = task_id,
+                remaining: list = remaining,
+            ) -> None:
+                remaining[0] -= 1
+                if remaining[0] == 0:
+                    sim.process(self._run_task(task_id))
+
+            for producer in producers:
+                self._done[producer].add_callback(on_producer_done)
+        return tile_done
 
     # ------------------------------------------------------------- helpers
     def _stream_id(self, task_id: str) -> int:
@@ -118,7 +148,13 @@ class TileScheduler:
     ) -> None:
         tracer = self._tracer
         if tracer is not None:
-            tracer.record(start, self.system.sim.now, actor, kind, label, ref, args)
+            # Raw span-tuple append (the Tracer materializes records
+            # lazily): the scheduler records several spans per task, and
+            # the monotone simulation clock guarantees start <= end so
+            # Tracer.record's validation is vacuous here.
+            tracer._spans.append(
+                (start, self.system.sim.now, actor, kind, label, ref, args)
+            )
 
     def _tag(self, task_id: str) -> str:
         """Correlation id of one task of this tile (``tenant1.t3.conv0``)."""
@@ -135,17 +171,20 @@ class TileScheduler:
         """Record the task's aggregate span carrying the DAG edges."""
         tracer = self._tracer
         if tracer is not None:
-            tracer.record(
-                start,
-                self.system.sim.now,
-                actor,
-                "task",
-                label=task_id,
-                ref=self._tag(task_id),
-                args={
-                    "deps": [self._tag(p) for p in producers],
-                    "tenant": self.tenant,
-                },
+            # Raw span-tuple append; see _trace for the rationale.
+            tracer._spans.append(
+                (
+                    start,
+                    self.system.sim.now,
+                    actor,
+                    "task",
+                    task_id,
+                    self._tag(task_id),
+                    {
+                        "deps": [self._tag(p) for p in producers],
+                        "tenant": self.tenant,
+                    },
+                )
             )
 
     # --------------------------------------------------------- task process
@@ -157,9 +196,8 @@ class TileScheduler:
         producers = graph.predecessors(task_id)
         tag = self._tag(task_id)
 
-        # 1. Wait for chained producers.
-        if producers:
-            yield AllOf(system.sim, [self._done[p] for p in producers])
+        # 1. Producers are already done — :meth:`run` spawns this
+        # process from the last producer's completion callback.
 
         # 2. Allocate an ABB (may queue inside the ABC).  When every ABB
         # of the type is out of service the ABC answers with the
@@ -176,11 +214,14 @@ class TileScheduler:
         assert isinstance(grant, Grant)
         self.locations[task_id] = (grant.island_index, grant.slot)
         island = system.islands[grant.island_index]
-        actor = (
-            f"island{grant.island_index}.slot{grant.slot}"
-            if self._tracer is not None
-            else ""
-        )
+        if self._tracer is not None:
+            key = (grant.island_index, grant.slot)
+            actor = _ACTOR_NAMES.get(key)
+            if actor is None:
+                actor = f"island{grant.island_index}.slot{grant.slot}"
+                _ACTOR_NAMES[key] = actor
+        else:
+            actor = ""
         if system.sim.now > requested_at:
             self._trace(requested_at, "alloc_wait", actor, tag, tag)
 
@@ -322,7 +363,7 @@ class TileScheduler:
         cycles = system.fallback_model.task_cycles(
             task.abb_type, task.invocations
         )
-        yield system.sim.timeout(cycles)
+        yield system.sim.delay(cycles)
         system.energy.charge(
             "sw_fallback", system.fallback_model.energy_nj(cycles)
         )

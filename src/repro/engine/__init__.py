@@ -8,7 +8,8 @@ A small, dependency-free engine in the style of SimPy: a
 This is the substrate every timing model in the library is built on.
 """
 
-from repro.engine.event import Event, Timeout
+from repro.engine.event import Event, PooledTimeout, Timeout
+from repro.engine.fastpath import FastChain
 from repro.engine.process import Process
 from repro.engine.simulator import Simulator
 from repro.engine.resources import (
@@ -24,7 +25,9 @@ __all__ = [
     "BandwidthServer",
     "Counter",
     "Event",
+    "FastChain",
     "Histogram",
+    "PooledTimeout",
     "Process",
     "Resource",
     "Simulator",

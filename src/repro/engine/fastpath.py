@@ -1,0 +1,80 @@
+"""Analytic fast-path chains: linear transfer pipelines without processes.
+
+Most data movement in the models is a straight line — NoC interface, then
+DMA, then the island network — written as a generator process.  The
+generator machinery costs one kick entry, one lambda-backed callback per
+stage and one ``Timeout``/closure per wait.  A :class:`FastChain`
+replaces it with a single ``__slots__`` object that walks its stages via
+one reusable bound callback, scheduling *exactly one heap entry per
+schedule point of the process it replaces* so runs stay bit-identical:
+the kick entry is mirrored, every stage's completion entry is mirrored
+(either by the chain's own wake-up when the stage's completion time is
+known in closed form, or by the underlying event's entry when the exact
+queued model is in play), and the final ``succeed`` mirrors the
+process-completion fire.
+
+A stage (``_step``) returns one of three things:
+
+* a **float** — the stage's completion time is analytically known (an
+  uncontended :meth:`BandwidthServer.reserve`, a fixed latency); the
+  chain schedules its own next wake-up at that time, standing in for
+  the completion entry the exact model would have scheduled;
+* an **Event** — the stage runs the exact model (a contended transfer,
+  a nested network chain); the chain registers its bound callback and
+  advances when the event fires, at the same entry the process-based
+  code resumed in;
+* ``None`` — the chain is done; the final stage calls
+  ``self.event.succeed(value)`` itself (mirroring the process's
+  StopIteration-driven ``succeed``) before returning ``None``.
+
+The contention fallback is therefore per-stage and automatic: a stage's
+server decides analytic-vs-exact at issue time via
+:meth:`BandwidthServer.transfer_analytic`, and either answer advances
+the chain through the same number of heap entries at the same times.
+"""
+
+from __future__ import annotations
+
+import typing
+
+from repro.engine.event import Event
+
+if typing.TYPE_CHECKING:  # pragma: no cover - import cycle guard
+    from repro.engine.simulator import Simulator
+
+
+class FastChain:
+    """Base class for linear analytic transfer chains.
+
+    Subclasses define ``__slots__`` for their site parameters and a
+    ``_step(stage)`` method following the float/Event/None protocol
+    above.  Construction schedules the mirror of the process kick;
+    ``self.event`` is the completion event handed to callers (a plain
+    :class:`Event`, awaitable exactly like the process it replaces).
+    """
+
+    __slots__ = ("sim", "event", "_stage", "_advance_cb")
+
+    def __init__(self, sim: "Simulator") -> None:
+        self.sim = sim
+        self.event = Event(sim)
+        self._stage = 0
+        advance = self._advance_cb = self._advance
+        # Mirrors the process kick: the first stage runs at the current
+        # time but never synchronously, so issue order cannot perturb
+        # same-time event ordering.
+        sim._schedule(sim.now, advance)
+
+    def _advance(self, _event: typing.Optional[Event] = None) -> None:
+        stage = self._stage
+        self._stage = stage + 1
+        nxt = self._step(stage)
+        if nxt is None:
+            return
+        if nxt.__class__ is float:
+            self.sim._schedule(nxt, self._advance_cb)
+        else:
+            nxt.add_callback(self._advance_cb)
+
+    def _step(self, stage: int) -> typing.Union[float, Event, None]:
+        raise NotImplementedError

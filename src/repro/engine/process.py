@@ -5,13 +5,18 @@ objects.  The process suspends until the yielded event fires, then resumes
 with the event's ``value`` as the result of the ``yield`` expression.  The
 process itself is an event that fires (with the generator's return value)
 when the body completes, so processes can wait on each other.
+
+Resumption is allocation-free on the hot path: the bound resume method is
+created once at spawn and reused as the callback for every yielded event,
+and pooled timeouts (:meth:`Simulator.delay`) are returned to the
+simulator's pool as soon as the generator has consumed their value.
 """
 
 from __future__ import annotations
 
 import typing
 
-from repro.engine.event import Event
+from repro.engine.event import Event, PooledTimeout
 from repro.errors import SimulationError
 
 if typing.TYPE_CHECKING:  # pragma: no cover - import cycle guard
@@ -21,7 +26,7 @@ if typing.TYPE_CHECKING:  # pragma: no cover - import cycle guard
 class Process(Event):
     """A running coroutine inside the simulation."""
 
-    __slots__ = ("_generator",)
+    __slots__ = ("_generator", "_send", "_resume_cb")
 
     def __init__(self, sim: "Simulator", generator: typing.Generator) -> None:
         super().__init__(sim)
@@ -30,22 +35,42 @@ class Process(Event):
                 f"process body must be a generator, got {type(generator).__name__}"
             )
         self._generator = generator
+        self._send = generator.send  # bound once; loaded on every resume
+        resume = self._resume_cb = self._resume
         sim._processes += 1
         # Kick the body off at the current time (not synchronously) so that
         # spawning order does not depend on the caller's position in a step.
-        sim._schedule(sim.now, lambda: self._resume(None))
+        sim._schedule(sim.now, resume)
 
-    def _resume(self, send_value: object) -> None:
+    def _resume(
+        self,
+        event: typing.Optional[Event] = None,
+        # Bound at definition time: _resume runs once per yield of every
+        # process, and the default-argument cell turns two global
+        # lookups into local loads.
+        _pooled: type = PooledTimeout,
+        _event_type: type = Event,
+    ) -> None:
+        if event is None:  # the spawn kick
+            send_value: object = None
+        else:
+            send_value = event.value
+            # Pooled timeouts are single-use by contract; recycle the
+            # instance the moment its value has been extracted.
+            if event.__class__ is _pooled:
+                self.sim._timeout_pool.append(event)
         try:
-            target = self._generator.send(send_value)
+            target = self._send(send_value)
         except StopIteration as stop:
             self.sim._processes -= 1
             if not self._triggered and not self._scheduled:
                 self.succeed(stop.value)
             return
-        if not isinstance(target, Event):
+        if not isinstance(target, _event_type):
             self.sim._processes -= 1
+            self._generator.close()
             raise SimulationError(
-                f"process yielded {type(target).__name__}; processes must yield Events"
+                f"process yielded {target!r} ({type(target).__name__}); "
+                "processes must yield Events"
             )
-        target.add_callback(lambda event: self._resume(event.value))
+        target.add_callback(self._resume_cb)

@@ -143,27 +143,68 @@ class BandwidthServer:
         """Channel occupancy (cycles) of a transfer of ``nbytes``."""
         return nbytes / self.bytes_per_cycle
 
-    def transfer(self, nbytes: float) -> Event:
-        """Enqueue a transfer; the returned event fires at completion."""
+    def reserve(self, nbytes: float) -> float:
+        """Account one transfer analytically; returns its completion time.
+
+        Performs exactly the accounting :meth:`transfer` performs —
+        FIFO queueing behind ``_free_at`` included, so the returned
+        completion time is identical under contention — but schedules
+        nothing.  Callers that need a wake-up at the returned time (the
+        fast-path transfer chains) schedule their own single entry.
+        """
         if nbytes < 0:
             raise ConfigError(f"transfer size must be non-negative, got {nbytes}")
         now = self.sim.now
         start = max(now, self._free_at)
-        occupancy = self.occupancy_for(nbytes)
+        occupancy = nbytes / self.bytes_per_cycle
         self._free_at = start + occupancy
         self.busy_cycles += occupancy
         self.total_bytes += nbytes
         self.total_transfers += 1
         done = start + occupancy + self.latency
         self.last_done = done
-        event = Event(self.sim)
+        return done
 
-        def complete() -> None:
-            event.value = nbytes
-            event._fire()
+    def transfer(self, nbytes: float) -> Event:
+        """Enqueue a transfer; the returned event fires at completion.
 
-        self.sim._schedule(done, complete)
+        The accounting is :meth:`reserve`'s, inlined statement for
+        statement (same float-operation order, so both paths produce
+        bit-identical completion times); keep the two in lockstep.
+        """
+        if nbytes < 0:
+            raise ConfigError(f"transfer size must be non-negative, got {nbytes}")
+        sim = self.sim
+        now = sim.now
+        free_at = self._free_at
+        start = now if now > free_at else free_at
+        occupancy = nbytes / self.bytes_per_cycle
+        self._free_at = start + occupancy
+        self.busy_cycles += occupancy
+        self.total_bytes += nbytes
+        self.total_transfers += 1
+        done = start + occupancy + self.latency
+        self.last_done = done
+        event = Event(sim)
+        event.value = nbytes
+        event._scheduled = True
+        sim._schedule(done, event._fire)
         return event
+
+    def transfer_analytic(self, nbytes: float) -> typing.Union[float, Event]:
+        """Fast-path transfer: a float when uncontended, an event when not.
+
+        When the channel is idle at issue time the completion time is
+        known in closed form and returned directly — no event object,
+        no heap entry.  The moment a second requester overlaps
+        (``_free_at`` is still in the future) this defers to
+        :meth:`transfer`, the exact queued model; both paths run the
+        same :meth:`reserve` accounting, so completion times are
+        identical by construction.
+        """
+        if self._free_at <= self.sim.now:
+            return self.reserve(nbytes)
+        return self.transfer(nbytes)
 
     def utilization(self, elapsed: float) -> float:
         """Fraction of ``elapsed`` cycles the channel was busy."""
@@ -181,25 +222,29 @@ class AllOf(Event):
     """An event that fires once all child events have fired.
 
     The value is the list of child values in the order given.
+
+    Every child shares one bound callback (no per-child closure); the
+    value list is gathered from the children when the last one fires —
+    an event's value never changes after it triggers, so the gathered
+    list is identical to one captured fire-by-fire.
     """
 
-    __slots__ = ("_pending", "_values")
+    __slots__ = ("_pending", "_children")
 
     def __init__(self, sim: "Simulator", events: typing.Sequence[Event]) -> None:
         super().__init__(sim)
-        self._pending = len(events)
-        self._values: list = [None] * len(events)
-        if self._pending == 0:
+        count = len(events)
+        self._pending = count
+        if count == 0:
+            self._children: typing.Tuple[Event, ...] = ()
             self.succeed([])
             return
-        for index, child in enumerate(events):
-            child.add_callback(self._make_callback(index))
+        children = self._children = tuple(events)
+        on_child = self._on_child
+        for child in children:
+            child.add_callback(on_child)
 
-    def _make_callback(self, index: int) -> typing.Callable[[Event], None]:
-        def on_fire(event: Event) -> None:
-            self._values[index] = event.value
-            self._pending -= 1
-            if self._pending == 0:
-                self.succeed(self._values)
-
-        return on_fire
+    def _on_child(self, _event: Event) -> None:
+        self._pending -= 1
+        if self._pending == 0:
+            self.succeed([child.value for child in self._children])

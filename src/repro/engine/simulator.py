@@ -2,11 +2,13 @@
 
 from __future__ import annotations
 
-import heapq
 import typing
+from heapq import heappop, heappush
 
-from repro.engine.event import Event, Timeout
+from repro.engine.event import Event, PooledTimeout, Timeout
 from repro.errors import SimulationError
+
+_INF = float("inf")
 
 
 class Simulator:
@@ -18,18 +20,25 @@ class Simulator:
     deterministic.
     """
 
+    __slots__ = ("now", "_heap", "_seq", "_processes", "_timeout_pool")
+
     def __init__(self) -> None:
         self.now: float = 0.0
         self._heap: list[tuple[float, int, typing.Callable[[], None]]] = []
         self._seq = 0
         self._processes: int = 0  # live processes, for deadlock detection
+        # Recycled PooledTimeout instances (see Simulator.delay).
+        self._timeout_pool: list[PooledTimeout] = []
 
     def _schedule(self, time: float, callback: typing.Callable[[], None]) -> None:
-        if time < self.now:
+        # The chained comparison rejects past times, NaN (every
+        # comparison involving it is false) and +/-inf in one test.
+        if not (self.now <= time < _INF):
             raise SimulationError(
-                f"cannot schedule in the past (now={self.now}, requested={time})"
+                f"cannot schedule at {time!r} (now={self.now}): "
+                "times must be finite and not in the past"
             )
-        heapq.heappush(self._heap, (time, self._seq, callback))
+        heappush(self._heap, (time, self._seq, callback))
         self._seq += 1
 
     def event(self) -> Event:
@@ -39,6 +48,41 @@ class Simulator:
     def timeout(self, delay: float, value: object = None) -> Timeout:
         """Create an event that fires ``delay`` cycles from now."""
         return Timeout(self, delay, value)
+
+    def delay(self, delay: float, value: object = None) -> PooledTimeout:
+        """A pooled fixed-delay event for internal hot paths.
+
+        Semantically identical to :meth:`timeout`, but the returned
+        event is recycled once a process consumes it, eliminating the
+        per-wait allocation.  Callers must yield it immediately and
+        never retain a reference past its firing; code that holds
+        timeout objects should use :meth:`timeout`.
+        """
+        pool = self._timeout_pool
+        if not pool:
+            return PooledTimeout(self, delay, value)
+        # Re-arm inline (same checks as Timeout.__init__): this is the
+        # single hottest allocation site in a simulation, and the extra
+        # _reinit call was measurable.
+        if not (0.0 <= delay < _INF):
+            raise SimulationError(
+                f"timeout delay must be finite and non-negative, got {delay!r}"
+            )
+        recycled = pool.pop()
+        recycled.delay = delay
+        recycled.value = value
+        recycled._triggered = False
+        recycled._scheduled = True
+        recycled._callback = None
+        time = self.now + delay
+        if time >= _INF:
+            raise SimulationError(
+                f"cannot schedule at {time!r} (now={self.now}): "
+                "times must be finite and not in the past"
+            )
+        heappush(self._heap, (time, self._seq, recycled._fire_cb))
+        self._seq += 1
+        return recycled
 
     def process(self, generator: typing.Generator) -> "Process":
         """Spawn a new process running ``generator``."""
@@ -51,26 +95,26 @@ class Simulator:
 
         Returns the final simulation time.
 
-        The event loop is the hottest code in any simulation, so heap
-        operations and the clock write are localized: ``heappop`` and
-        the heap list are bound once outside the loop, and entries are
-        popped directly rather than peeked-then-popped in the common
-        no-deadline case.
+        The event loop is the hottest code in any simulation, so both
+        branches pop entries directly (one heap operation per event);
+        the deadline branch pushes the single overshooting entry back
+        rather than peeking before every pop.
         """
         heap = self._heap
-        heappop = heapq.heappop
+        pop = heappop
         if until is None:
             while heap:
-                entry = heappop(heap)
-                self.now = entry[0]
-                entry[2]()
+                time, _seq, callback = pop(heap)
+                self.now = time
+                callback()
             return self.now
         while heap:
-            time = heap[0][0]
+            entry = pop(heap)
+            time = entry[0]
             if time > until:
+                heappush(heap, entry)
                 self.now = until
-                return self.now
-            entry = heappop(heap)
+                return until
             self.now = time
             entry[2]()
         return self.now

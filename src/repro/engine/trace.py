@@ -23,9 +23,11 @@ from __future__ import annotations
 
 import math
 import typing
-from dataclasses import dataclass, field
+from dataclasses import dataclass
 
 from repro.errors import ConfigError
+
+_INF = float("inf")
 
 
 @dataclass(frozen=True, init=False)
@@ -63,14 +65,16 @@ class TraceRecord:
         ref: str = "",
         args: typing.Optional[typing.Mapping[str, typing.Any]] = None,
     ) -> None:
-        # NaN compares false against everything, so an `end < start`
-        # check alone would silently admit non-finite spans; reject them
-        # explicitly before the ordering check.
-        if not (math.isfinite(start) and math.isfinite(end)):
-            raise ConfigError(
-                f"span times must be finite, got [{start}, {end}]"
-            )
-        if end < start:
+        # One chained comparison accepts exactly the valid spans: NaN
+        # makes every comparison false, +/-inf fall outside the open
+        # bounds, and ordering is checked in the same expression.  The
+        # slow branch re-distinguishes the two failure modes for the
+        # error message.
+        if not (-_INF < start <= end < _INF):
+            if not (math.isfinite(start) and math.isfinite(end)):
+                raise ConfigError(
+                    f"span times must be finite, got [{start}, {end}]"
+                )
             raise ConfigError(
                 f"span ends before it starts ({start} > {end})"
             )
@@ -93,11 +97,62 @@ class TraceRecord:
         return self.end - self.start
 
 
-@dataclass
 class Tracer:
-    """Collects trace records during a simulation run."""
+    """Collects timestamped spans during a simulation run.
 
-    records: list = field(default_factory=list)
+    Hot-path storage is a list of plain span tuples ``(start, end,
+    actor, kind, label, ref, args)``; :class:`TraceRecord` objects are
+    materialized lazily the first time :attr:`records` is read (queries,
+    exports, tests), so a traced simulation never pays per-span object
+    construction inside the event loop.  Recording sites inside the
+    engine append tuples to ``_spans`` directly; everything else goes
+    through :meth:`record`.
+    """
+
+    __slots__ = ("_spans", "_records", "_materialized")
+
+    def __init__(self) -> None:
+        # Raw span tuples in record order — the hot-path storage.
+        self._spans: list = []
+        # Materialized TraceRecord cache; None until .records is read.
+        self._records: typing.Optional[list] = None
+        # How many _spans entries are already in the cache.
+        self._materialized = 0
+
+    @property
+    def records(self) -> list:
+        """The spans as :class:`TraceRecord` objects.
+
+        Materialized lazily and cached: the same list object is
+        returned on every access (so appending to it works), and spans
+        recorded after an access are appended to it on the next one.
+        """
+        recs = self._records
+        spans = self._spans
+        if recs is None:
+            recs = self._records = [TraceRecord(*span) for span in spans]
+            self._materialized = len(spans)
+        elif self._materialized != len(spans):
+            recs.extend(
+                TraceRecord(*span) for span in spans[self._materialized :]
+            )
+            self._materialized = len(spans)
+        return recs
+
+    def _raw_spans(self) -> list:
+        """Span tuples for internal consumers (critical-path analysis).
+
+        Returns the hot-path tuple list directly; when records were
+        appended to :attr:`records` by hand (bypassing :meth:`record`),
+        the tuples are re-derived so nothing is missed.
+        """
+        recs = self._records
+        if recs is not None and len(recs) != self._materialized:
+            return [
+                (r.start, r.end, r.actor, r.kind, r.label, r.ref, r.args)
+                for r in self.records
+            ]
+        return self._spans
 
     def record(
         self,
@@ -108,11 +163,16 @@ class Tracer:
         label: str = "",
         ref: str = "",
         args: typing.Optional[typing.Mapping[str, typing.Any]] = None,
-    ) -> TraceRecord:
+        # Default-argument cell: record() runs once per span on traced
+        # runs, and it turns two global lookups into local loads.
+        _inf: float = _INF,
+    ) -> None:
         """Append one span."""
-        rec = TraceRecord(start, end, actor, kind, label, ref, args)
-        self.records.append(rec)
-        return rec
+        # The TraceRecord constructor runs only to raise its precise
+        # validation error; valid spans stay tuples until materialized.
+        if not (-_inf < start <= end < _inf):
+            TraceRecord(start, end, actor, kind, label, ref, args)
+        self._spans.append((start, end, actor, kind, label, ref, args))
 
     # ---------------------------------------------------------------- query
     def by_actor(self, actor: str) -> list:

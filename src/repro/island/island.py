@@ -18,7 +18,13 @@ import typing
 import repro.faults as faults
 from repro.abb.instance import ABBInstance
 from repro.abb.library import ABBLibrary
-from repro.engine import BandwidthServer, Event, Simulator, UtilizationTracker
+from repro.engine import (
+    BandwidthServer,
+    Event,
+    FastChain,
+    Simulator,
+    UtilizationTracker,
+)
 from repro.engine.trace import Tracer
 from repro.errors import AllocationError, ConfigError
 from repro.island.config import IslandConfig
@@ -35,6 +41,180 @@ NOC_INTERFACE_AREA_MM2 = 0.20
 
 #: Latency of the island's NoC interface (buffering/serialization), cycles.
 NOC_INTERFACE_LATENCY = 4.0
+
+
+class _IngressChain(FastChain):
+    """NoC in -> DMA -> internal net -> SPM, without a generator.
+
+    Entry-for-entry mirror of the ingress process on the fault-free DMA
+    path: kick, one entry per pipeline-leg completion, final fire.
+    """
+
+    __slots__ = ("_island", "_slot", "_nbytes", "_ref", "_t0")
+
+    def __init__(self, island: "Island", slot: int, nbytes: float, ref: str) -> None:
+        self._island = island
+        self._slot = slot
+        self._nbytes = nbytes
+        self._ref = ref
+        self._t0 = 0.0
+        FastChain.__init__(self, island.sim)
+
+    def _step(self, stage: int):
+        island = self._island
+        nbytes = self._nbytes
+        if stage == 0:
+            return island.noc_in.transfer_analytic(nbytes)
+        if stage == 1:
+            return island.dma.transfer_analytic(nbytes)
+        if stage == 2:
+            return island.network.dma_to_spm_fast(self._slot, nbytes)
+        island.energy.charge(
+            "spm", island.spm_groups[self._slot].record_write(nbytes)
+        )
+        self.event.succeed(nbytes)
+        return None
+
+
+class _TracedIngressChain(_IngressChain):
+    """Ingress chain with per-leg span recording (tracer attached)."""
+
+    __slots__ = ()
+
+    def _step(self, stage: int):
+        island = self._island
+        nbytes = self._nbytes
+        if stage == 0:
+            self._t0 = self.sim.now
+            return island.noc_in.transfer_analytic(nbytes)
+        if stage == 1:
+            island._span(self._t0, "noc_in", "noc_if", self._ref, nbytes)
+            self._t0 = self.sim.now
+            return island.dma.transfer_analytic(nbytes)
+        if stage == 2:
+            island._span(self._t0, "dma", "dma", self._ref, nbytes)
+            self._t0 = self.sim.now
+            return island.network.dma_to_spm_fast(self._slot, nbytes)
+        island._span(self._t0, "net", "spm_net", self._ref, nbytes)
+        island.energy.charge(
+            "spm", island.spm_groups[self._slot].record_write(nbytes)
+        )
+        self.event.succeed(nbytes)
+        return None
+
+
+class _EgressChain(FastChain):
+    """SPM -> internal net -> DMA -> NoC out, without a generator."""
+
+    __slots__ = ("_island", "_slot", "_nbytes", "_ref", "_t0")
+
+    def __init__(self, island: "Island", slot: int, nbytes: float, ref: str) -> None:
+        self._island = island
+        self._slot = slot
+        self._nbytes = nbytes
+        self._ref = ref
+        self._t0 = 0.0
+        FastChain.__init__(self, island.sim)
+
+    def _step(self, stage: int):
+        island = self._island
+        nbytes = self._nbytes
+        if stage == 0:
+            island.energy.charge(
+                "spm", island.spm_groups[self._slot].record_read(nbytes)
+            )
+            return island.network.spm_to_dma_fast(self._slot, nbytes)
+        if stage == 1:
+            return island.dma.transfer_analytic(nbytes)
+        if stage == 2:
+            return island.noc_out.transfer_analytic(nbytes)
+        self.event.succeed(nbytes)
+        return None
+
+
+class _TracedEgressChain(_EgressChain):
+    """Egress chain with per-leg span recording (tracer attached)."""
+
+    __slots__ = ()
+
+    def _step(self, stage: int):
+        island = self._island
+        nbytes = self._nbytes
+        if stage == 0:
+            island.energy.charge(
+                "spm", island.spm_groups[self._slot].record_read(nbytes)
+            )
+            self._t0 = self.sim.now
+            return island.network.spm_to_dma_fast(self._slot, nbytes)
+        if stage == 1:
+            island._span(self._t0, "net", "spm_net", self._ref, nbytes)
+            self._t0 = self.sim.now
+            return island.dma.transfer_analytic(nbytes)
+        if stage == 2:
+            island._span(self._t0, "dma", "dma", self._ref, nbytes)
+            self._t0 = self.sim.now
+            return island.noc_out.transfer_analytic(nbytes)
+        island._span(self._t0, "noc_out", "noc_if", self._ref, nbytes)
+        self.event.succeed(nbytes)
+        return None
+
+
+class _ChainLocalChain(FastChain):
+    """SPM -> internal net -> SPM on one island, without a generator."""
+
+    __slots__ = ("_island", "_src_slot", "_dst_slot", "_nbytes", "_ref", "_t0")
+
+    def __init__(
+        self,
+        island: "Island",
+        src_slot: int,
+        dst_slot: int,
+        nbytes: float,
+        ref: str,
+    ) -> None:
+        self._island = island
+        self._src_slot = src_slot
+        self._dst_slot = dst_slot
+        self._nbytes = nbytes
+        self._ref = ref
+        self._t0 = 0.0
+        FastChain.__init__(self, island.sim)
+
+    def _step(self, stage: int):
+        island = self._island
+        nbytes = self._nbytes
+        if stage == 0:
+            island.energy.charge(
+                "spm", island.spm_groups[self._src_slot].record_read(nbytes)
+            )
+            return island.network.chain_fast(self._src_slot, self._dst_slot, nbytes)
+        island.energy.charge(
+            "spm", island.spm_groups[self._dst_slot].record_write(nbytes)
+        )
+        self.event.succeed(nbytes)
+        return None
+
+
+class _TracedChainLocalChain(_ChainLocalChain):
+    """Local-chaining chain with span recording (tracer attached)."""
+
+    __slots__ = ()
+
+    def _step(self, stage: int):
+        island = self._island
+        nbytes = self._nbytes
+        if stage == 0:
+            island.energy.charge(
+                "spm", island.spm_groups[self._src_slot].record_read(nbytes)
+            )
+            self._t0 = self.sim.now
+            return island.network.chain_fast(self._src_slot, self._dst_slot, nbytes)
+        island._span(self._t0, "net", "spm_net", self._ref, nbytes)
+        island.energy.charge(
+            "spm", island.spm_groups[self._dst_slot].record_write(nbytes)
+        )
+        self.event.succeed(nbytes)
+        return None
 
 
 class Island:
@@ -108,6 +288,32 @@ class Island:
         # normally (fail-stop after drain).
         self.fault_injector = fault_injector
         self._failed = [False] * len(self.abbs)
+        # Allocation-policy hot-path state: the slot layout is fixed
+        # after construction, so the per-type slot lists are built once,
+        # and the busy count is maintained by allocate/release instead
+        # of recounted per query (busy_fraction runs on every policy
+        # evaluation of every request).
+        self._slots_by_type: dict[str, list[int]] = {}
+        for index, abb in enumerate(self.abbs):
+            self._slots_by_type.setdefault(abb.abb_type.name, []).append(index)
+        self._slot_count = len(self.abbs)
+        self._busy_slots = 0
+        # Data-path dispatch: transfer chains replace the per-transfer
+        # generator processes.  The DMA fault models reroute ingress and
+        # egress through the exact retry/stall generator instead; the
+        # traced variants record the same per-leg spans the processes
+        # did.  All four combinations are bit-identical in timing.
+        self._fast_dma = (
+            fault_injector is None or not fault_injector.spec.dma_faults_enabled
+        )
+        if tracer is not None:
+            self._ingress_chain: type = _TracedIngressChain
+            self._egress_chain: type = _TracedEgressChain
+            self._chain_local_chain: type = _TracedChainLocalChain
+        else:
+            self._ingress_chain = _IngressChain
+            self._egress_chain = _EgressChain
+            self._chain_local_chain = _ChainLocalChain
         self.abb_tracker = UtilizationTracker(
             capacity=len(self.abbs), name=f"island{island_id}.abbs"
         )
@@ -128,10 +334,13 @@ class Island:
         return len(self.abbs)
 
     def slots_of_type(self, type_name: str) -> list[int]:
-        """Slot indices whose ABB is of ``type_name``."""
-        return [
-            i for i, abb in enumerate(self.abbs) if abb.abb_type.name == type_name
-        ]
+        """Slot indices whose ABB is of ``type_name``.
+
+        The layout is fixed at construction, so this returns the
+        precomputed list — callers must not mutate it.
+        """
+        slots = self._slots_by_type.get(type_name)
+        return slots if slots is not None else []
 
     def slot_usable(self, slot: int) -> bool:
         """Whether a slot can be allocated right now.
@@ -170,9 +379,8 @@ class Island:
         return sum(1 for failed in self._failed if failed)
 
     def busy_fraction(self) -> float:
-        """Fraction of slots currently allocated."""
-        busy = sum(1 for abb in self.abbs if not abb.is_free)
-        return busy / len(self.abbs)
+        """Fraction of slots currently allocated (O(1), maintained)."""
+        return self._busy_slots / self._slot_count
 
     # ----------------------------------------------------------- allocation
     def allocate(self, slot: int, owner: object) -> None:
@@ -186,6 +394,7 @@ class Island:
         if self.config.spm_sharing:
             for neighbor in self._neighbors(slot):
                 self._neighbor_locks[neighbor] += 1
+        self._busy_slots += 1
         self.abb_tracker.adjust(+1, self.sim.now)
 
     def release(self, slot: int, owner: object, invocations: int) -> None:
@@ -198,6 +407,7 @@ class Island:
                 if self._neighbor_locks[neighbor] <= 0:
                     raise AllocationError("sharing lock underflow")
                 self._neighbor_locks[neighbor] -= 1
+        self._busy_slots -= 1
         self.abb_tracker.adjust(-1, self.sim.now)
 
     def fail_slot(self, slot: int) -> str:
@@ -243,11 +453,11 @@ class Island:
             outcome = injector.dma_outcome(self.island_id)
             if outcome == faults.DMA_STALL:
                 injector.stats.dma_stalls += 1
-                yield self.sim.timeout(injector.spec.dma_stall_cycles)
+                yield self.sim.delay(injector.spec.dma_stall_cycles)
             elif outcome == faults.DMA_DROP:
                 if attempt < injector.spec.dma_max_retries:
                     injector.stats.dma_retries += 1
-                    yield self.sim.timeout(injector.dma_retry_delay(attempt))
+                    yield self.sim.delay(injector.dma_retry_delay(attempt))
                     attempt += 1
                     continue
                 injector.stats.dma_forced_recoveries += 1
@@ -258,23 +468,25 @@ class Island:
         self, start: float, suffix: str, kind: str, ref: str, nbytes: float
     ) -> None:
         """Record one data-path sub-span ending now (no-op untraced)."""
-        if self.tracer is not None:
+        tracer = self.tracer
+        if tracer is not None:
             label = self._span_labels.get(nbytes)
             if label is None:
                 label = f"{nbytes:g}B"
                 self._span_labels[nbytes] = label
-            self.tracer.record(
-                start,
-                self.sim.now,
-                self._span_actors[suffix],
-                kind,
-                label=label,
-                ref=ref,
+            # Raw span-tuple append (the Tracer materializes records
+            # lazily): islands emit a span per DMA leg, the hottest
+            # record site, and the monotone simulation clock guarantees
+            # start <= end so Tracer.record's validation is vacuous.
+            tracer._spans.append(
+                (start, self.sim.now, self._span_actors[suffix], kind, label, ref, None)
             )
 
     def ingress(self, slot: int, nbytes: float, ref: str = "") -> Event:
         """Bring ``nbytes`` from the NoC into a slot's SPM."""
         self._check_slot(slot)
+        if self._fast_dma:
+            return self._ingress_chain(self, slot, nbytes, ref).event
 
         def proc():
             t0 = self.sim.now
@@ -294,6 +506,8 @@ class Island:
     def egress(self, slot: int, nbytes: float, ref: str = "") -> Event:
         """Send ``nbytes`` from a slot's SPM out to the NoC."""
         self._check_slot(slot)
+        if self._fast_dma:
+            return self._egress_chain(self, slot, nbytes, ref).event
 
         def proc():
             self.energy.charge("spm", self.spm_groups[slot].record_read(nbytes))
@@ -316,16 +530,7 @@ class Island:
         """Move chained data between two slots on this island."""
         self._check_slot(src_slot)
         self._check_slot(dst_slot)
-
-        def proc():
-            self.energy.charge("spm", self.spm_groups[src_slot].record_read(nbytes))
-            t0 = self.sim.now
-            yield self.network.chain(src_slot, dst_slot, nbytes)
-            self._span(t0, "net", "spm_net", ref, nbytes)
-            self.energy.charge("spm", self.spm_groups[dst_slot].record_write(nbytes))
-            return nbytes
-
-        return self.sim.process(proc())
+        return self._chain_local_chain(self, src_slot, dst_slot, nbytes, ref).event
 
     def compute(self, slot: int, invocations: int) -> Event:
         """Run ``invocations`` through a reserved slot's ABB pipeline."""
@@ -336,7 +541,7 @@ class Island:
         cycles = abb.abb_type.compute_cycles(invocations)
         cycles *= 1.0 + group.conflict_penalty()
         self.energy.charge("abb", abb.abb_type.dynamic_energy_nj(invocations))
-        return self.sim.timeout(cycles, invocations)
+        return self.sim.delay(cycles, invocations)
 
     # ------------------------------------------------------------ physicals
     def area_breakdown_mm2(self) -> dict[str, float]:

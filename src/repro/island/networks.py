@@ -25,7 +25,7 @@ import abc
 import math
 import typing
 
-from repro.engine import BandwidthServer, Event, Simulator
+from repro.engine import BandwidthServer, Event, FastChain, Simulator
 from repro.errors import ConfigError
 from repro.island.config import NetworkKind, SpmDmaNetworkConfig
 from repro.power.aggregate import EnergyAccount
@@ -84,6 +84,30 @@ class SpmDmaNetwork(abc.ABC):
     def chain(self, src_slot: int, dst_slot: int, nbytes: float) -> Event:
         """Move ``nbytes`` directly between two slots' SPM groups."""
 
+    # ------------------------------------------------------- fast variants
+    # Fast-path counterparts used by the island's transfer chains: they
+    # may return the analytically known completion time as a float when
+    # the underlying channel is uncontended (the caller schedules the
+    # single wake-up) instead of an Event.  The defaults fall back to
+    # the exact event-returning model, so subclasses opt in per path.
+    def dma_to_spm_fast(self, slot: int, nbytes: float) -> typing.Union[float, Event]:
+        """Analytic variant of :meth:`dma_to_spm`: a float completion time
+        when the transfer is uncontended, else the exact-model Event.
+        The base implementation always takes the exact path."""
+        return self.dma_to_spm(slot, nbytes)
+
+    def spm_to_dma_fast(self, slot: int, nbytes: float) -> typing.Union[float, Event]:
+        """Analytic variant of :meth:`spm_to_dma` (see
+        :meth:`dma_to_spm_fast`)."""
+        return self.spm_to_dma(slot, nbytes)
+
+    def chain_fast(
+        self, src_slot: int, dst_slot: int, nbytes: float
+    ) -> typing.Union[float, Event]:
+        """Analytic variant of :meth:`chain` (see
+        :meth:`dma_to_spm_fast`)."""
+        return self.chain(src_slot, dst_slot, nbytes)
+
     # ------------------------------------------------------------ physicals
     @property
     @abc.abstractmethod
@@ -102,6 +126,36 @@ class SpmDmaNetwork(abc.ABC):
     def _check_slot(self, slot: int) -> None:
         if not 0 <= slot < self.n_slots:
             raise ConfigError(f"slot {slot} out of range (0..{self.n_slots - 1})")
+
+
+class _ProxyChainTransfer(FastChain):
+    """SPM -> DMA -> SPM store-and-forward over the proxy crossbar.
+
+    Mirrors the generator it replaces entry for entry: kick, one entry
+    per traversal/DMA completion, final fire.
+    """
+
+    __slots__ = ("_network", "_nbytes")
+
+    def __init__(self, network: "ProxyCrossbarNetwork", nbytes: float) -> None:
+        self._network = network
+        self._nbytes = nbytes
+        FastChain.__init__(self, network.sim)
+
+    def _step(self, stage: int):
+        network = self._network
+        if stage == 0:
+            return network._traverse_fast(self._nbytes)  # SPM -> DMA
+        if stage == 1:
+            dma = network._dma
+            if dma is None:
+                self._stage = 3
+                return network._traverse_fast(self._nbytes)  # DMA -> SPM
+            return dma.transfer_analytic(self._nbytes)  # store-and-forward
+        if stage == 2:
+            return network._traverse_fast(self._nbytes)  # DMA -> SPM
+        self.event.succeed(self._nbytes)
+        return None
 
 
 class ProxyCrossbarNetwork(SpmDmaNetwork):
@@ -133,6 +187,13 @@ class ProxyCrossbarNetwork(SpmDmaNetwork):
         )
         return self._port.transfer(nbytes)
 
+    def _traverse_fast(self, nbytes: float) -> typing.Union[float, Event]:
+        self.energy.charge(
+            "island_net",
+            crossbar_traversal_energy_nj(nbytes, targets=self.total_banks),
+        )
+        return self._port.transfer_analytic(nbytes)
+
     def dma_to_spm(self, slot: int, nbytes: float) -> Event:
         self._check_slot(slot)
         return self._traverse(nbytes)
@@ -141,19 +202,28 @@ class ProxyCrossbarNetwork(SpmDmaNetwork):
         self._check_slot(slot)
         return self._traverse(nbytes)
 
+    def dma_to_spm_fast(self, slot: int, nbytes: float) -> typing.Union[float, Event]:
+        """One crossbar traversal; float when the crossbar is idle."""
+        self._check_slot(slot)
+        return self._traverse_fast(nbytes)
+
+    def spm_to_dma_fast(self, slot: int, nbytes: float) -> typing.Union[float, Event]:
+        """One crossbar traversal; float when the crossbar is idle."""
+        self._check_slot(slot)
+        return self._traverse_fast(nbytes)
+
     def chain(self, src_slot: int, dst_slot: int, nbytes: float) -> Event:
         """Chaining proxies through the DMA: two sequential traversals."""
         self._check_slot(src_slot)
         self._check_slot(dst_slot)
+        return _ProxyChainTransfer(self, nbytes).event
 
-        def proc():
-            yield self._traverse(nbytes)  # SPM -> DMA
-            if self._dma is not None:
-                yield self._dma.transfer(nbytes)  # store-and-forward
-            yield self._traverse(nbytes)  # DMA -> SPM
-            return nbytes
-
-        return self.sim.process(proc())
+    def chain_fast(
+        self, src_slot: int, dst_slot: int, nbytes: float
+    ) -> typing.Union[float, Event]:
+        """Two traversals with a DMA store-and-forward leg between; the
+        chain object handles per-leg analytic/exact fallback itself."""
+        return self.chain(src_slot, dst_slot, nbytes)
 
     @property
     def area_mm2(self) -> float:
@@ -213,6 +283,27 @@ class ChainingCrossbarNetwork(SpmDmaNetwork):
         self._charge(nbytes)
         return self._chain_paths.transfer(nbytes)
 
+    def dma_to_spm_fast(self, slot: int, nbytes: float) -> typing.Union[float, Event]:
+        """DMA-port hop; float when the port is idle at issue."""
+        self._check_slot(slot)
+        self._charge(nbytes)
+        return self._dma_port.transfer_analytic(nbytes)
+
+    def spm_to_dma_fast(self, slot: int, nbytes: float) -> typing.Union[float, Event]:
+        """DMA-port hop; float when the port is idle at issue."""
+        self._check_slot(slot)
+        self._charge(nbytes)
+        return self._dma_port.transfer_analytic(nbytes)
+
+    def chain_fast(
+        self, src_slot: int, dst_slot: int, nbytes: float
+    ) -> typing.Union[float, Event]:
+        """Direct chaining path; float when that path is idle at issue."""
+        self._check_slot(src_slot)
+        self._check_slot(dst_slot)
+        self._charge(nbytes)
+        return self._chain_paths.transfer_analytic(nbytes)
+
     @property
     def area_mm2(self) -> float:
         # All banks talk to all banks plus the DMA port.
@@ -231,6 +322,37 @@ class ChainingCrossbarNetwork(SpmDmaNetwork):
             self._dma_port.utilization(elapsed),
             self._chain_paths.utilization(elapsed),
         )
+
+
+class _RingTransfer(FastChain):
+    """One ring traversal: fluid capacity occupancy, then hop latency.
+
+    Mirrors the generator it replaces entry for entry: kick, capacity
+    completion, hop-latency expiry, final fire.
+    """
+
+    __slots__ = ("_capacity", "_effective", "_hop_cycles", "_nbytes")
+
+    def __init__(
+        self,
+        network: "RingNetwork",
+        effective: float,
+        hop_cycles: float,
+        nbytes: float,
+    ) -> None:
+        self._capacity = network._capacity
+        self._effective = effective
+        self._hop_cycles = hop_cycles
+        self._nbytes = nbytes
+        FastChain.__init__(self, network.sim)
+
+    def _step(self, stage: int):
+        if stage == 0:
+            return self._capacity.transfer_analytic(self._effective)
+        if stage == 1:
+            return self.sim.now + self._hop_cycles
+        self.event.succeed(self._nbytes)
+        return None
 
 
 class RingNetwork(SpmDmaNetwork):
@@ -273,12 +395,13 @@ class RingNetwork(SpmDmaNetwork):
         self._check_slot(slot)
         return slot + 1
 
-    def _transfer(self, src_node: int, dst_node: int, nbytes: float) -> Event:
+    def _start_transfer(
+        self, src_node: int, dst_node: int, nbytes: float
+    ) -> typing.Optional["_RingTransfer"]:
+        """Charge energy and launch the traversal chain (None at 0 hops)."""
         hops = self.hops(src_node, dst_node)
         if hops == 0:
-            done = Event(self.sim)
-            done.succeed(nbytes)
-            return done
+            return None
         self.energy.charge(
             "island_net",
             hops
@@ -288,13 +411,23 @@ class RingNetwork(SpmDmaNetwork):
             ),
         )
         effective = nbytes * hops / self.n_nodes
+        return _RingTransfer(self, effective, RING_HOP_LATENCY * hops, nbytes)
 
-        def proc():
-            yield self._capacity.transfer(effective)
-            yield self.sim.timeout(RING_HOP_LATENCY * hops)
-            return nbytes
+    def _transfer(self, src_node: int, dst_node: int, nbytes: float) -> Event:
+        chain = self._start_transfer(src_node, dst_node, nbytes)
+        if chain is None:
+            done = Event(self.sim)
+            done.succeed(nbytes)
+            return done
+        return chain.event
 
-        return self.sim.process(proc())
+    def _transfer_fast(
+        self, src_node: int, dst_node: int, nbytes: float
+    ) -> typing.Union[float, Event]:
+        chain = self._start_transfer(src_node, dst_node, nbytes)
+        if chain is None:
+            return self.sim.now
+        return chain.event
 
     def dma_to_spm(self, slot: int, nbytes: float) -> Event:
         return self._transfer(0, self._slot_node(slot), nbytes)
@@ -304,6 +437,22 @@ class RingNetwork(SpmDmaNetwork):
 
     def chain(self, src_slot: int, dst_slot: int, nbytes: float) -> Event:
         return self._transfer(
+            self._slot_node(src_slot), self._slot_node(dst_slot), nbytes
+        )
+
+    def dma_to_spm_fast(self, slot: int, nbytes: float) -> typing.Union[float, Event]:
+        """Ring traversal from the DMA stop; float on a zero-hop move."""
+        return self._transfer_fast(0, self._slot_node(slot), nbytes)
+
+    def spm_to_dma_fast(self, slot: int, nbytes: float) -> typing.Union[float, Event]:
+        """Ring traversal to the DMA stop; float on a zero-hop move."""
+        return self._transfer_fast(self._slot_node(slot), 0, nbytes)
+
+    def chain_fast(
+        self, src_slot: int, dst_slot: int, nbytes: float
+    ) -> typing.Union[float, Event]:
+        """Slot-to-slot ring traversal; float on a zero-hop move."""
+        return self._transfer_fast(
             self._slot_node(src_slot), self._slot_node(dst_slot), nbytes
         )
 

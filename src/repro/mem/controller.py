@@ -70,16 +70,39 @@ class MemoryController:
                 self._span_labels[nbytes] = label
             # access() returns the channel event directly — no wrapping
             # process exists to observe completion — so the span end is
-            # the channel's analytically known drain time.
-            self.tracer.record(
-                start,
-                self._channel.last_done,
-                self._span_actor,
-                "mem",
-                label=label,
-                ref=ref,
+            # the channel's analytically known drain time.  Raw
+            # span-tuple append (the Tracer materializes records
+            # lazily): last_done >= start always, so Tracer.record's
+            # validation is vacuous here.
+            self.tracer._spans.append(
+                (start, self._channel.last_done, self._span_actor, "mem", label, ref, None)
             )
         return event
+
+    def access_fast(
+        self, nbytes: float, ref: str = ""
+    ) -> typing.Union[float, Event]:
+        """Analytic variant of :meth:`access`.
+
+        Returns the completion time as a float when the channel is idle
+        at issue (no event, no heap entry); falls back to the exact
+        queued Event the moment another access is in flight.  Energy and
+        tracing are identical either way — the span end was always the
+        channel's analytically known drain time.
+        """
+        self.energy.charge("dram", DRAM_ENERGY_PJ_PER_BYTE * nbytes * 1e-3)
+        start = self._channel.sim.now
+        result = self._channel.transfer_analytic(nbytes)
+        if self.tracer is not None:
+            label = self._span_labels.get(nbytes)
+            if label is None:
+                label = f"{nbytes:g}B"
+                self._span_labels[nbytes] = label
+            # Raw span-tuple append; see access() for the rationale.
+            self.tracer._spans.append(
+                (start, self._channel.last_done, self._span_actor, "mem", label, ref, None)
+            )
+        return result
 
     def utilization(self, elapsed: float) -> float:
         """Busy fraction of the channel."""
@@ -131,6 +154,16 @@ class MemorySystem:
     ) -> Event:
         """Serve an access on the interleave-selected controller."""
         return self.controller_for(stream_id).access(nbytes, ref)
+
+    def access_fast(
+        self,
+        nbytes: float,
+        stream_id: typing.Optional[int] = None,
+        ref: str = "",
+    ) -> typing.Union[float, Event]:
+        """Analytic variant of :meth:`access` (see
+        :meth:`MemoryController.access_fast`)."""
+        return self.controller_for(stream_id).access_fast(nbytes, ref)
 
     def total_bytes(self) -> float:
         """Bytes served across all controllers."""

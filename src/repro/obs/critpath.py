@@ -40,7 +40,7 @@ import bisect
 import typing
 from dataclasses import dataclass, field
 
-from repro.engine.trace import TraceRecord, Tracer
+from repro.engine.trace import Tracer
 from repro.errors import ConfigError
 
 #: Attribution categories, in report order.
@@ -64,7 +64,7 @@ _KIND_CATEGORY = {
 _KIND_DETAIL = {"mem": "mem", "spm_net": "spm_net"}
 
 
-@dataclass(frozen=True)
+@dataclass(frozen=True, init=False)
 class Segment:
     """One attributed slice of the critical path."""
 
@@ -74,6 +74,27 @@ class Segment:
     detail: str
     ref: str = ""
     actor: str = ""
+
+    def __init__(
+        self,
+        start: float,
+        end: float,
+        category: str,
+        detail: str,
+        ref: str = "",
+        actor: str = "",
+    ) -> None:
+        # Same hand-written-init idiom as TraceRecord: the generated
+        # frozen __init__ funnels every field through
+        # object.__setattr__, and segments are built dozens of times per
+        # attribution call on traced runs.
+        d = self.__dict__
+        d["start"] = start
+        d["end"] = end
+        d["category"] = category
+        d["detail"] = detail
+        d["ref"] = ref
+        d["actor"] = actor
 
     @property
     def duration(self) -> float:
@@ -128,27 +149,37 @@ class AttributionReport:
         return "\n".join(lines)
 
 
-@dataclass
 class _Node:
     """One task of the span DAG under reconstruction."""
 
-    ref: str
-    start: float = 0.0
-    end: float = 0.0
-    deps: tuple = ()
-    defined: bool = False
-    leaves: list = field(default_factory=list)
+    __slots__ = ("ref", "start", "end", "deps", "defined", "leaves")
+
+    def __init__(self, ref: str) -> None:
+        self.ref = ref
+        self.start = 0.0
+        self.end = 0.0
+        self.deps: tuple = ()
+        self.defined = False
+        self.leaves: list = []
+
+
+# The analyzer walks the tracer's raw span tuples rather than
+# materialized TraceRecord objects — attribution runs inside every
+# traced run_workload call, and the tuple path skips one object
+# construction per span.  Tuple layout (see Tracer._spans):
+# (start, end, actor, kind, label, ref, args).
+_START, _END, _ACTOR, _KIND, _LABEL, _REF, _ARGS = range(7)
 
 
 def _build_nodes(tracer: Tracer) -> dict[str, _Node]:
     nodes: dict[str, _Node] = {}
     get = nodes.get
     kind_category = _KIND_CATEGORY
-    for rec in tracer.records:
-        ref = rec.ref
+    for rec in tracer._raw_spans():
+        ref = rec[_REF]
         if not ref:
             continue
-        kind = rec.kind
+        kind = rec[_KIND]
         if kind == "task":
             node = get(ref)
             if node is None:
@@ -156,8 +187,10 @@ def _build_nodes(tracer: Tracer) -> dict[str, _Node]:
                 nodes[ref] = node
             elif node.defined:
                 raise ConfigError(f"duplicate task span for ref {ref!r}")
-            node.start, node.end = rec.start, rec.end
-            node.deps = tuple((rec.args or {}).get("deps", ()))
+            node.start, node.end = rec[_START], rec[_END]
+            args = rec[_ARGS]
+            deps = args.get("deps") if args else None
+            node.deps = tuple(deps) if deps else ()
             node.defined = True
         elif kind in kind_category:
             node = get(ref)
@@ -168,17 +201,16 @@ def _build_nodes(tracer: Tracer) -> dict[str, _Node]:
     return {ref: node for ref, node in nodes.items() if node.defined}
 
 
-def _conflict_fraction(rec: TraceRecord) -> float:
-    return float((rec.args or {}).get("conflict", 0.0))
+def _conflict_fraction(args: typing.Optional[typing.Mapping]) -> float:
+    return float((args or {}).get("conflict", 0.0))
 
 
-def _emit_leaf(
-    rec: TraceRecord, lo: float, hi: float, out: list
-) -> None:
-    """Append the attributed segment(s) for one leaf interval."""
-    category = _KIND_CATEGORY[rec.kind]
-    if rec.kind == "compute":
-        conflict = _conflict_fraction(rec)
+def _emit_leaf(rec: tuple, lo: float, hi: float, out: list) -> None:
+    """Append the attributed segment(s) for one leaf span tuple."""
+    kind = rec[_KIND]
+    category = _KIND_CATEGORY[kind]
+    if kind == "compute":
+        conflict = _conflict_fraction(rec[_ARGS])
         if conflict > 0.0:
             # compute_cycles = base * (1 + conflict): the conflict share
             # of the interval is conflict / (1 + conflict).
@@ -186,12 +218,16 @@ def _emit_leaf(
             # The walk runs backward and reverses at the end, so append
             # the later slice first to keep segments time-ordered.
             out.append(
-                Segment(split, hi, "spm_conflict", "spm_conflict", rec.ref, rec.actor)
+                Segment(
+                    split, hi, "spm_conflict", "spm_conflict", rec[_REF], rec[_ACTOR]
+                )
             )
-            out.append(Segment(lo, split, "compute", "compute", rec.ref, rec.actor))
+            out.append(
+                Segment(lo, split, "compute", "compute", rec[_REF], rec[_ACTOR])
+            )
             return
-    detail = _KIND_DETAIL.get(rec.kind, category)
-    out.append(Segment(lo, hi, category, detail, rec.ref, rec.actor))
+    detail = _KIND_DETAIL.get(kind, category)
+    out.append(Segment(lo, hi, category, detail, rec[_REF], rec[_ACTOR]))
 
 
 def _walk_node(node: _Node, t_hi: float, eps: float, out: list) -> None:
@@ -205,20 +241,26 @@ def _walk_node(node: _Node, t_hi: float, eps: float, out: list) -> None:
     actually waited on.
     """
     leaves = sorted(
-        (rec for rec in node.leaves if rec.duration > eps),
-        key=lambda rec: (rec.end, rec.duration, rec.kind, rec.actor),
+        (rec for rec in node.leaves if rec[_END] - rec[_START] > eps),
+        key=lambda rec: (
+            rec[_END],
+            rec[_END] - rec[_START],
+            rec[_KIND],
+            rec[_ACTOR],
+        ),
     )
-    ends = [rec.end for rec in leaves]
+    ends = [rec[_END] for rec in leaves]
     t = t_hi
+    floor = node.start + eps
     budget = 2 * len(leaves) + 4  # safety bound; the walk is monotone
-    while t > node.start + eps and budget > 0:
+    while t > floor and budget > 0:
         budget -= 1
         # Rightmost leaf with end <= t + eps that still reaches below t.
         index = bisect.bisect_right(ends, t + eps) - 1
         chosen = None
         while index >= 0:
             candidate = leaves[index]
-            if candidate.end > node.start + eps and candidate.start < t - eps:
+            if candidate[_END] > floor and candidate[_START] < t - eps:
                 chosen = candidate
                 break
             index -= 1
@@ -227,15 +269,16 @@ def _walk_node(node: _Node, t_hi: float, eps: float, out: list) -> None:
                 Segment(node.start, t, "other", "gap", node.ref, "")
             )
             return
-        if chosen.end < t - eps:
+        end = chosen[_END]
+        if end < t - eps:
             out.append(
-                Segment(chosen.end, t, "other", "gap", node.ref, "")
+                Segment(end, t, "other", "gap", node.ref, "")
             )
-            t = chosen.end
-        lo = max(chosen.start, node.start)
-        _emit_leaf(chosen, lo, min(t, chosen.end), out)
+            t = end
+        lo = max(chosen[_START], node.start)
+        _emit_leaf(chosen, lo, min(t, end), out)
         t = lo
-    if t > node.start + eps:
+    if t > floor:
         out.append(Segment(node.start, t, "other", "gap", node.ref, ""))
 
 
@@ -359,23 +402,26 @@ def category_cycles_by_tenant(tracer: Tracer) -> dict[str, dict[str, float]]:
     from the ``tenant`` arg the scheduler stamps on task spans; refs
     with no tenant group under ``""``.
     """
+    spans = tracer._raw_spans()
     tenant_of: dict[str, str] = {}
-    for rec in tracer.records:
-        if rec.kind == "task":
-            tenant_of[rec.ref] = str((rec.args or {}).get("tenant", ""))
+    for rec in spans:
+        if rec[_KIND] == "task":
+            tenant_of[rec[_REF]] = str((rec[_ARGS] or {}).get("tenant", ""))
     out: dict[str, dict[str, float]] = {}
-    for rec in tracer.records:
-        if rec.kind not in _KIND_CATEGORY or not rec.ref:
+    for rec in spans:
+        kind = rec[_KIND]
+        if kind not in _KIND_CATEGORY or not rec[_REF]:
             continue
-        tenant = tenant_of.get(rec.ref, "")
+        tenant = tenant_of.get(rec[_REF], "")
         per_tenant = out.setdefault(
             tenant, {category: 0.0 for category in CATEGORIES}
         )
-        if rec.kind == "compute":
-            conflict = _conflict_fraction(rec)
-            conflict_share = rec.duration * conflict / (1.0 + conflict)
-            per_tenant["compute"] += rec.duration - conflict_share
+        duration = rec[_END] - rec[_START]
+        if kind == "compute":
+            conflict = _conflict_fraction(rec[_ARGS])
+            conflict_share = duration * conflict / (1.0 + conflict)
+            per_tenant["compute"] += duration - conflict_share
             per_tenant["spm_conflict"] += conflict_share
         else:
-            per_tenant[_KIND_CATEGORY[rec.kind]] += rec.duration
+            per_tenant[_KIND_CATEGORY[kind]] += duration
     return out

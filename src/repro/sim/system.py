@@ -16,7 +16,7 @@ from repro.cmp.fallback import SoftwareFallbackModel
 from repro.cmp.xeon import XEON_E5_2420
 from repro.core.allocation import AllocationPolicy, locality_then_load_balance
 from repro.core.composer import AcceleratorBlockComposer
-from repro.engine import Event, Resource, Simulator, Timeout
+from repro.engine import Event, FastChain, Resource, Simulator, Timeout
 from repro.engine.trace import Tracer
 from repro.errors import ConfigError
 from repro.faults import FaultInjector, FaultSpec, FaultStats
@@ -162,6 +162,112 @@ class SystemConfig:
         return digest(self)
 
 
+class _MemToIslandChain(FastChain):
+    """DRAM read -> mesh -> island ingress, without a wrapping process."""
+
+    __slots__ = ("_system", "_island_index", "_slot", "_nbytes", "_stream_id", "_ref")
+
+    def __init__(self, system, island_index, slot, nbytes, stream_id, ref):
+        self._system = system
+        self._island_index = island_index
+        self._slot = slot
+        self._nbytes = nbytes
+        self._stream_id = stream_id
+        self._ref = ref
+        FastChain.__init__(self, system.sim)
+
+    def _step(self, stage):
+        system = self._system
+        if stage == 0:
+            return system.memory.access_fast(
+                self._nbytes, self._stream_id, self._ref
+            )
+        if stage == 1:
+            return system.noc.transfer(
+                system._mc_node(self._stream_id),
+                system.topology.island(self._island_index),
+                self._nbytes,
+                self._ref,
+            )
+        if stage == 2:
+            return system.islands[self._island_index].ingress(
+                self._slot, self._nbytes, self._ref
+            )
+        self.event.succeed(self._nbytes)
+        return None
+
+
+class _IslandToMemChain(FastChain):
+    """Island egress -> mesh -> DRAM write, without a wrapping process."""
+
+    __slots__ = ("_system", "_island_index", "_slot", "_nbytes", "_stream_id", "_ref")
+
+    def __init__(self, system, island_index, slot, nbytes, stream_id, ref):
+        self._system = system
+        self._island_index = island_index
+        self._slot = slot
+        self._nbytes = nbytes
+        self._stream_id = stream_id
+        self._ref = ref
+        FastChain.__init__(self, system.sim)
+
+    def _step(self, stage):
+        system = self._system
+        if stage == 0:
+            return system.islands[self._island_index].egress(
+                self._slot, self._nbytes, self._ref
+            )
+        if stage == 1:
+            return system.noc.transfer(
+                system.topology.island(self._island_index),
+                system._mc_node(self._stream_id),
+                self._nbytes,
+                self._ref,
+            )
+        if stage == 2:
+            return system.memory.access_fast(
+                self._nbytes, self._stream_id, self._ref
+            )
+        self.event.succeed(self._nbytes)
+        return None
+
+
+class _IslandToIslandChain(FastChain):
+    """Cross-island chaining: egress -> mesh -> ingress."""
+
+    __slots__ = ("_system", "_src_index", "_src_slot", "_dst_index", "_dst_slot", "_nbytes", "_ref")
+
+    def __init__(self, system, src_index, src_slot, dst_index, dst_slot, nbytes, ref):
+        self._system = system
+        self._src_index = src_index
+        self._src_slot = src_slot
+        self._dst_index = dst_index
+        self._dst_slot = dst_slot
+        self._nbytes = nbytes
+        self._ref = ref
+        FastChain.__init__(self, system.sim)
+
+    def _step(self, stage):
+        system = self._system
+        if stage == 0:
+            return system.islands[self._src_index].egress(
+                self._src_slot, self._nbytes, self._ref
+            )
+        if stage == 1:
+            return system.noc.transfer(
+                system.topology.island(self._src_index),
+                system.topology.island(self._dst_index),
+                self._nbytes,
+                self._ref,
+            )
+        if stage == 2:
+            return system.islands[self._dst_index].ingress(
+                self._dst_slot, self._nbytes, self._ref
+            )
+        self.event.succeed(self._nbytes)
+        return None
+
+
 class SystemModel:
     """A fully wired accelerator-rich system ready to execute tiles."""
 
@@ -297,20 +403,9 @@ class SystemModel:
         ref: str = "",
     ) -> Event:
         """DRAM read -> mesh -> island ingress -> SPM."""
-        island = self.islands[island_index]
-
-        def proc():
-            yield self.memory.access(nbytes, stream_id, ref)
-            yield self.noc.transfer(
-                self._mc_node(stream_id),
-                self.topology.island(island_index),
-                nbytes,
-                ref,
-            )
-            yield island.ingress(slot, nbytes, ref)
-            return nbytes
-
-        return self.sim.process(proc())
+        return _MemToIslandChain(
+            self, island_index, slot, nbytes, stream_id, ref
+        ).event
 
     def island_to_memory(
         self,
@@ -321,20 +416,9 @@ class SystemModel:
         ref: str = "",
     ) -> Event:
         """SPM -> island egress -> mesh -> DRAM write."""
-        island = self.islands[island_index]
-
-        def proc():
-            yield island.egress(slot, nbytes, ref)
-            yield self.noc.transfer(
-                self.topology.island(island_index),
-                self._mc_node(stream_id),
-                nbytes,
-                ref,
-            )
-            yield self.memory.access(nbytes, stream_id, ref)
-            return nbytes
-
-        return self.sim.process(proc())
+        return _IslandToMemChain(
+            self, island_index, slot, nbytes, stream_id, ref
+        ).event
 
     def island_to_island(
         self,
@@ -350,19 +434,9 @@ class SystemModel:
             return self.islands[src_index].chain_local(
                 src_slot, dst_slot, nbytes, ref
             )
-
-        def proc():
-            yield self.islands[src_index].egress(src_slot, nbytes, ref)
-            yield self.noc.transfer(
-                self.topology.island(src_index),
-                self.topology.island(dst_index),
-                nbytes,
-                ref,
-            )
-            yield self.islands[dst_index].ingress(dst_slot, nbytes, ref)
-            return nbytes
-
-        return self.sim.process(proc())
+        return _IslandToIslandChain(
+            self, src_index, src_slot, dst_index, dst_slot, nbytes, ref
+        ).event
 
     # -------------------------------------------------------------- metrics
     @property
